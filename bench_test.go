@@ -1,0 +1,466 @@
+package incompletedb
+
+// Benchmark harness: one benchmark (family) per reproduced table/figure of
+// the paper, as indexed in DESIGN.md, plus ablations on the substrate.
+//
+//	go test -bench=. -benchmem
+//
+// The scaling families (ValCodd / ValUniform / CompUniform, exact vs brute)
+// are the repository's "figures": the exact algorithms grow polynomially in
+// the instance size while the brute-force baseline grows exponentially and
+// drops out.
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/classify"
+	"github.com/incompletedb/incompletedb/internal/cnf"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/cylinder"
+	"github.com/incompletedb/incompletedb/internal/graphs"
+	"github.com/incompletedb/incompletedb/internal/reductions"
+)
+
+// --- E-T1: Table 1 ----------------------------------------------------------
+
+func BenchmarkTable1Classification(b *testing.B) {
+	queries := []*cq.BCQ{
+		cq.MustParseBCQ("R(x, x)"),
+		cq.MustParseBCQ("R(x) ∧ S(x, y) ∧ T(y)"),
+		cq.MustParseBCQ("R(x, y) ∧ S(x, y)"),
+		cq.MustParseBCQ("A(x, y, z) ∧ B(z, w) ∧ C(w) ∧ D(v)"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := classify.ClassifyAll(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E-F1: Figure 1 ---------------------------------------------------------
+
+func BenchmarkFigure1Counts(b *testing.B) {
+	db := core.NewDatabase()
+	db.MustAddFact("S", core.Const("a"), core.Const("b"))
+	db.MustAddFact("S", core.Null(1), core.Const("a"))
+	db.MustAddFact("S", core.Const("a"), core.Null(2))
+	db.SetDomain(1, []string{"a", "b", "c"})
+	db.SetDomain(2, []string{"a", "b"})
+	q := cq.MustParseBCQ("S(x, x)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.BruteForceValuations(db, q, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := count.BruteForceCompletions(db, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E-FIG-VAL-CODD: Theorem 3.7 exact vs brute -----------------------------
+
+func coddScalingDB(n int) *core.Database {
+	db := core.NewDatabase()
+	for i := 0; i < n; i++ {
+		a, bb := core.NullID(2*i+1), core.NullID(2*i+2)
+		db.MustAddFact("R", core.Null(a), core.Null(bb))
+		db.SetDomain(a, []string{"a", "b", "c"})
+		db.SetDomain(bb, []string{"b", "c", "d"})
+	}
+	return db
+}
+
+func BenchmarkValCoddExact(b *testing.B) {
+	q := cq.MustParseBCQ("R(x, x)")
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := coddScalingDB(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.ValuationsCodd(db, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkValCoddBrute(b *testing.B) {
+	q := cq.MustParseBCQ("R(x, x)")
+	for _, n := range []int{2, 4, 6} { // 9^n valuations
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := coddScalingDB(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.BruteForceValuations(db, q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E-FIG-VAL-UNI: Theorem 3.9 exact vs brute ------------------------------
+
+func uniformScalingDB(n int) *core.Database {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	for i := 0; i < n; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i+1)))
+		db.MustAddFact("S", core.Null(core.NullID(n+i+1)))
+	}
+	return db
+}
+
+func BenchmarkValUniformExact(b *testing.B) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := uniformScalingDB(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.ValuationsUniform(db, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkValUniformBrute(b *testing.B) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	for _, n := range []int{2, 4, 6} { // 3^(2n) valuations
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := uniformScalingDB(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.BruteForceValuations(db, q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E-FIG-COMP-UNI: Theorem 4.6 exact vs brute -----------------------------
+
+func BenchmarkCompUniformExact(b *testing.B) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := uniformScalingDB(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.CompletionsUniform(db, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompUniformBrute(b *testing.B) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	for _, n := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := uniformScalingDB(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.BruteForceCompletions(db, q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E-C5.3: Karp–Luby FPRAS -------------------------------------------------
+
+func BenchmarkKarpLuby(b *testing.B) {
+	d := 10
+	dom := make([]string, d)
+	for i := range dom {
+		dom[i] = fmt.Sprintf("v%d", i)
+	}
+	db := core.NewUniformDatabase(dom)
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	for i := 0; i < 30; i++ {
+		db.MustAddFact("F", core.Null(core.NullID(10+i)))
+	}
+	q := cq.MustParseBCQ("R(x, x)")
+	for _, eps := range []float64{0.2, 0.1, 0.05} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EstimateValuations(db, q, eps, 0.05, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMonteCarlo(b *testing.B) {
+	db := uniformScalingDB(4)
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarloValuations(db, q, 1000, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E-P5.2: cylinder union --------------------------------------------------
+
+func BenchmarkCylinderUnion(b *testing.B) {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	db.MustAddFact("R", core.Null(2), core.Null(3))
+	db.MustAddFact("S", core.Null(3))
+	db.MustAddFact("S", core.Const("a"))
+	q := cq.MustParseBCQ("R(x, y) ∧ S(y)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set, err := cylinder.Build(db, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := set.UnionCount(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Reduction benchmarks (E-P3.4, E-P3.11, E-P4.2, E-P5.6, E-T6.3, E-T6.4) --
+
+func BenchmarkReduction3Coloring(b *testing.B) {
+	g := graphs.Random(5, 0.5, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red := reductions.ThreeColoringToVal(g)
+		val, err := count.BruteForceValuations(red.DB, red.Query, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red.Recover(val)
+	}
+}
+
+func BenchmarkReductionVertexCover(b *testing.B) {
+	g := graphs.Random(4, 0.5, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red := reductions.VertexCoversToCompCodd(g)
+		comp, err := count.BruteForceCompletions(red.DB, red.Query, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red.Recover(comp)
+	}
+}
+
+func BenchmarkReductionBISLinearSystem(b *testing.B) {
+	bip := graphs.RandomBipartite(2, 2, 0.5, rand.New(rand.NewSource(3)))
+	oracle := func(db *core.Database, q *cq.BCQ) (*big.Int, error) {
+		return count.BruteForceValuations(db, q, nil)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := reductions.BISViaLinearSystem(bip, oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReductionGadget(b *testing.B) {
+	g := graphs.Cycle(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red := reductions.ColorabilityGadget(g)
+		if _, err := count.BruteForceCompletions(red.DB, red.Query, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReductionK3SAT(b *testing.B) {
+	f, err := cnf.Random3CNF(4, 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red, err := reductions.K3SATToCompNeg(f, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := count.BruteForceCompletions(red.DB, red.Query, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReductionHamSubgraphs(b *testing.B) {
+	g := graphs.Random(5, 0.6, rand.New(rand.NewSource(5)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red, err := reductions.HamSubgraphsToVal(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := count.BruteForceValuations(red.DB, red.Query, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E-B5: stretch/Tutte identity --------------------------------------------
+
+func BenchmarkStretchTutte(b *testing.B) {
+	g := graphs.Cycle(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk, err := graphs.Stretch(g, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := graphs.CountPseudoforestSubsets(sk); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := graphs.BicircularTutteX1(g, big.NewRat(4, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate ablations ------------------------------------------------------
+
+func BenchmarkQueryEval(b *testing.B) {
+	inst := core.NewInstance()
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		inst.Add("R", fmt.Sprint(r.Intn(20)), fmt.Sprint(r.Intn(20)))
+	}
+	for i := 0; i < 50; i++ {
+		inst.Add("S", fmt.Sprint(r.Intn(20)))
+	}
+	q := cq.MustParseBCQ("R(x, y) ∧ S(y)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Eval(inst)
+	}
+}
+
+func BenchmarkPatternContainment(b *testing.B) {
+	q := cq.MustParseBCQ("A(x, y, z) ∧ B(z, w) ∧ C(w) ∧ D(v, v)")
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cq.IsPatternOf(cq.PatternPath, q)
+		}
+	})
+	b.Run("predicate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cq.HasPathPattern(q)
+		}
+	})
+}
+
+func BenchmarkCompletionDedup(b *testing.B) {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	for i := 1; i <= 8; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.BruteForceAllCompletions(db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValuationEnumeration(b *testing.B) {
+	db := uniformScalingDB(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		db.ForEachValuation(func(core.Valuation) bool { n++; return true })
+	}
+}
+
+// --- E-MU: Libkin's µ_k through the exact dispatcher -------------------------
+
+func BenchmarkMuK(b *testing.B) {
+	db := core.NewDatabase()
+	for i := 1; i <= 10; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)))
+		db.MustAddFact("S", core.Null(core.NullID(10+i)))
+	}
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.MuK(db, q, k, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Extension ablations ------------------------------------------------------
+
+func BenchmarkInequalityEval(b *testing.B) {
+	inst := core.NewInstance()
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		inst.Add("R", fmt.Sprint(r.Intn(10)), fmt.Sprint(r.Intn(10)))
+	}
+	q := cq.MustParse("R(x, y) ∧ x ≠ y")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Eval(inst)
+	}
+}
+
+func BenchmarkNegationComplementDispatch(b *testing.B) {
+	db := uniformScalingDB(16)
+	neg := &cq.Negation{Inner: cq.MustParseBCQ("R(x) ∧ S(x)")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := count.CountValuations(db, neg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCylinderDispatchLargeSpace(b *testing.B) {
+	// 40 free binary nulls: 2^82 valuations, counted exactly through the
+	// cylinder inclusion–exclusion fallback.
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for i := 1; i <= 40; i++ {
+		db.MustAddFact("F", core.Null(core.NullID(i)), core.Null(core.NullID(40+i)))
+	}
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	q := cq.MustParseBCQ("R(x, x)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n, m, err := count.CountValuations(db, q, nil)
+		if err != nil || m != count.MethodCylinderIE || n.Sign() <= 0 {
+			b.Fatalf("method %s, err %v", m, err)
+		}
+	}
+}

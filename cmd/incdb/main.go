@@ -1,0 +1,204 @@
+// Command incdb is the command-line interface to the incompletedb library:
+// it classifies self-join-free Boolean conjunctive queries according to the
+// dichotomies of Arenas, Barceló and Monet (PODS 2020), counts valuations
+// and completions of incomplete databases exactly or approximately, and
+// runs the paper-reproduction experiment suite.
+//
+// Usage:
+//
+//	incdb classify -q "R(x,y) ∧ S(x)"
+//	incdb table1
+//	incdb count -db data.idb -q "R(x,x)" -kind val
+//	incdb estimate -db data.idb -q "R(x,x)" -eps 0.05 -delta 0.01
+//	incdb experiments [-quick] [-seed N]
+//
+// Database files use the textual format of core.ParseDatabase:
+//
+//	# comment
+//	uniform a b c
+//	R(a, ?1)
+//
+// or, for non-uniform databases, "dom ?1 a b" lines before the facts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	incdb "github.com/incompletedb/incompletedb"
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "table1":
+		fmt.Print(incdb.Table1())
+	case "count":
+		err = cmdCount(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "incdb: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incdb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `incdb — counting problems over incomplete databases (PODS 2020 reproduction)
+
+commands:
+  classify -q QUERY              classify an sjfBCQ under all eight variants (Table 1)
+  table1                         print the dichotomy table of the paper
+  count -db FILE -q QUERY        count valuations/completions (-kind val|comp)
+  estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed)
+  experiments [-quick] [-seed N] run the paper-reproduction experiment suite`)
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	qstr := fs.String("q", "", "self-join-free Boolean conjunctive query")
+	fs.Parse(args)
+	if *qstr == "" {
+		return fmt.Errorf("classify: -q is required")
+	}
+	q, err := incdb.ParseBCQ(*qstr)
+	if err != nil {
+		return err
+	}
+	results, err := incdb.ClassifyAll(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %v\n", q)
+	for _, r := range results {
+		line := fmt.Sprintf("  %-14s %-12s approx: %-24s", r.Variant, r.Complexity, r.Approx)
+		if r.HardPattern != nil {
+			line += fmt.Sprintf(" hard pattern: %v", r.HardPattern)
+		}
+		fmt.Println(line + "   [" + r.Reference + "]")
+	}
+	return nil
+}
+
+func loadDB(path string) (*incdb.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return incdb.ParseDatabase(f)
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	qstr := fs.String("q", "", "Boolean query")
+	kind := fs.String("kind", "val", "what to count: val | comp | all-comp")
+	maxVals := fs.Int64("max", count.DefaultMaxValuations, "brute-force guard (number of valuations)")
+	fs.Parse(args)
+	if *dbPath == "" || (*qstr == "" && *kind != "all-comp") {
+		return fmt.Errorf("count: -db and -q are required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	opts := &incdb.CountOptions{MaxValuations: *maxVals}
+	switch *kind {
+	case "val":
+		q, err := incdb.ParseQuery(*qstr)
+		if err != nil {
+			return err
+		}
+		n, method, err := incdb.CountValuations(db, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("#Val(%v) = %v   [%s]\n", q, n, method)
+	case "comp":
+		q, err := incdb.ParseQuery(*qstr)
+		if err != nil {
+			return err
+		}
+		n, method, err := incdb.CountCompletions(db, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("#Comp(%v) = %v   [%s]\n", q, n, method)
+	case "all-comp":
+		n, err := incdb.CountAllCompletions(db, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("#Comp(TRUE) = %v\n", n)
+	default:
+		return fmt.Errorf("count: unknown -kind %q", *kind)
+	}
+	return nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	qstr := fs.String("q", "", "(union of) Boolean conjunctive query(ies)")
+	eps := fs.Float64("eps", 0.05, "multiplicative error ε")
+	delta := fs.Float64("delta", 0.05, "failure probability δ")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *dbPath == "" || *qstr == "" {
+		return fmt.Errorf("estimate: -db and -q are required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	q, err := incdb.ParseQuery(*qstr)
+	if err != nil {
+		return err
+	}
+	est, err := incdb.EstimateValuations(db, q, *eps, *delta, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("#Val(%v) ≈ %v   (ε=%v, δ=%v; Karp–Luby FPRAS)\n", q, est, *eps, *delta)
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller instances")
+	seed := fs.Int64("seed", 2020, "random seed")
+	fs.Parse(args)
+	reports := experiments.RunAll(experiments.Config{Quick: *quick, Seed: *seed})
+	fmt.Print(experiments.Render(reports))
+	fails := 0
+	for _, r := range reports {
+		if !r.Pass {
+			fails++
+		}
+	}
+	fmt.Printf("\n%d/%d experiments passed\n", len(reports)-fails, len(reports))
+	if fails > 0 {
+		return fmt.Errorf("%d experiment(s) failed", fails)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), runErr
+}
+
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.idb")
+	content := "# test database\nuniform a b c\nS(a, b)\nS(?1, a)\nS(a, ?2)\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdClassify(t *testing.T) {
+	out, err := capture(t, func() error { return cmdClassify([]string{"-q", "R(x, x)"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"#Val(q)", "#P-complete", "Theorem 3.6", "FP"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("classify output missing %q:\n%s", frag, out)
+		}
+	}
+	if err := cmdClassify([]string{}); err == nil {
+		t.Error("missing -q accepted")
+	}
+	if err := cmdClassify([]string{"-q", "R(x) | S(x)"}); err == nil {
+		t.Error("non-BCQ accepted")
+	}
+}
+
+func TestCmdCount(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, func() error {
+		return cmdCount([]string{"-db", db, "-q", "S(x, x)", "-kind", "val"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform variant of Figure 1 over {a,b,c}: 9 valuations; satisfying:
+	// ν1=a (3) + ν2=a (3) − both (1) = 5.
+	if !strings.Contains(out, "= 5") {
+		t.Errorf("count output: %s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdCount([]string{"-db", db, "-q", "S(x, x)", "-kind", "comp"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#Comp") {
+		t.Errorf("comp output: %s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdCount([]string{"-db", db, "-kind", "all-comp"})
+	})
+	if err != nil || !strings.Contains(out, "#Comp(TRUE)") {
+		t.Errorf("all-comp output: %s (err %v)", out, err)
+	}
+	if err := cmdCount([]string{"-db", db, "-q", "S(x,x)", "-kind", "bogus"}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := cmdCount([]string{"-q", "S(x,x)"}); err == nil {
+		t.Error("missing -db accepted")
+	}
+	if err := cmdCount([]string{"-db", "/nonexistent/xx.idb", "-q", "S(x,x)"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdEstimate(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, func() error {
+		return cmdEstimate([]string{"-db", db, "-q", "S(x, x)", "-eps", "0.1", "-delta", "0.1", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Karp–Luby") {
+		t.Errorf("estimate output: %s", out)
+	}
+	if err := cmdEstimate([]string{"-db", db}); err == nil {
+		t.Error("missing -q accepted")
+	}
+}
+
+func TestCmdExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	out, err := capture(t, func() error {
+		return cmdExperiments([]string{"-quick", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatalf("experiments failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "experiments passed") || strings.Contains(out, "[FAIL]") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+}

@@ -1,0 +1,62 @@
+// Dichotomy_explorer classifies a catalog of self-join-free Boolean
+// conjunctive queries under all eight counting-problem variants of the
+// paper, reproducing the structure of Table 1 and illustrating the
+// conclusions the paper draws from it: counting completions is (almost)
+// always harder than counting valuations, Codd tables help, and
+// non-uniformity hurts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incdb "github.com/incompletedb/incompletedb"
+)
+
+func main() {
+	fmt.Print(incdb.Table1())
+	fmt.Println()
+
+	catalog := []string{
+		"R(x)",
+		"R(x, y)",
+		"R(x, x)",
+		"R(x) ∧ S(x)",
+		"R(x) ∧ S(y)",
+		"R(x, y) ∧ S(y)",
+		"R(x, y) ∧ S(x, y)",
+		"R(x) ∧ S(x, y) ∧ T(y)",
+		"R(x, y, z) ∧ S(z) ∧ T(w)",
+		"A(x) ∧ B(x) ∧ C(x)",
+	}
+
+	fmt.Println("Classification of a query catalog (columns: the eight variants):")
+	fmt.Printf("%-28s", "query")
+	for _, v := range incdb.AllVariants() {
+		fmt.Printf("%-15s", v.String())
+	}
+	fmt.Println()
+	for _, qs := range catalog {
+		q, err := incdb.ParseBCQ(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := incdb.ClassifyAll(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s", qs)
+		for _, r := range results {
+			fmt.Printf("%-15s", r.Complexity)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Observations (Section 1 of the paper):")
+	fmt.Println("  * #Comp is #P-hard for EVERY sjfBCQ in the non-uniform setting;")
+	fmt.Println("  * the FP cells of #Comp are strictly contained in those of #Val;")
+	fmt.Println("  * R(x,x) is hard on naïve tables but FP on Codd tables;")
+	fmt.Println("  * all #Val problems admit an FPRAS (Corollary 5.3), while #Comp")
+	fmt.Println("    admits none unless NP = RP (outside the FP cells).")
+}

@@ -1,0 +1,92 @@
+// Quickstart replays the running example of the paper (Example 2.2 /
+// Figure 1): a non-uniform incomplete database with two nulls, the query
+// q = ∃x S(x,x), and the difference between counting valuations and
+// counting completions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incdb "github.com/incompletedb/incompletedb"
+)
+
+func main() {
+	// T = {S(a,b), S(⊥1,a), S(a,⊥2)}, dom(⊥1) = {a,b,c}, dom(⊥2) = {a,b}.
+	db := incdb.NewDatabase()
+	db.MustAddFact("S", incdb.Const("a"), incdb.Const("b"))
+	db.MustAddFact("S", incdb.Null(1), incdb.Const("a"))
+	db.MustAddFact("S", incdb.Const("a"), incdb.Null(2))
+	if err := db.SetDomain(1, []string{"a", "b", "c"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.SetDomain(2, []string{"a", "b"}); err != nil {
+		log.Fatal(err)
+	}
+
+	q := incdb.MustParseQuery("S(x, x)")
+
+	fmt.Println("Incomplete database D (Example 2.2 of the paper):")
+	fmt.Println(db)
+
+	// Replay Figure 1: enumerate the six valuations and their completions.
+	fmt.Println("Valuations and completions (Figure 1):")
+	if err := db.ForEachValuation(func(v incdb.Valuation) bool {
+		inst := db.Apply(v)
+		sat := "no"
+		if q.Eval(inst) {
+			sat = "yes"
+		}
+		fmt.Printf("  ν = %-22s ν(D) ⊨ q? %-3s   ν(D) = {%s}\n",
+			v, sat, oneLine(inst))
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	total, err := incdb.TotalValuations(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	val, method, err := incdb.CountValuations(db, q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, _, err := incdb.CountCompletions(db, q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all, err := incdb.CountAllCompletions(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("total valuations:          %v\n", total)
+	fmt.Printf("#Val(q)(D)  = %v   (paper: 4)   [%s]\n", val, method)
+	fmt.Printf("#Comp(q)(D) = %v   (paper: 3)\n", comp)
+	fmt.Printf("distinct completions:      %v\n", all)
+	fmt.Println()
+	fmt.Println("The two counting problems differ because distinct valuations can")
+	fmt.Println("collapse to the same completion under set semantics.")
+}
+
+func oneLine(inst *incdb.Instance) string {
+	s := ""
+	for _, r := range inst.Relations() {
+		for _, t := range inst.Tuples(r) {
+			if s != "" {
+				s += ", "
+			}
+			s += r + "("
+			for i, x := range t {
+				if i > 0 {
+					s += ","
+				}
+				s += x
+			}
+			s += ")"
+		}
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+// Package incompletedb is a from-scratch implementation of the counting
+// framework of Arenas, Barceló and Monet, "Counting Problems over
+// Incomplete Databases" (PODS 2020, arXiv:1912.11064).
+//
+// It provides:
+//
+//   - the incomplete-database model under the closed-world assumption:
+//     naïve tables and Codd tables whose labeled nulls range over finite
+//     domains, either per-null (non-uniform) or shared (uniform);
+//   - Boolean conjunctive queries, unions and negations thereof, with
+//     homomorphism-based model checking and the pattern relation of
+//     Definition 3.1;
+//   - the counting problems #Val(q) (valuations whose completion satisfies
+//     q) and #Comp(q) (distinct completions satisfying q), solved exactly
+//     by the paper's four polynomial-time algorithms on the tractable sides
+//     of Table 1 and by guarded brute force elsewhere;
+//   - the dichotomy classifier of Table 1, including approximability
+//     (Section 5) and the beyond-#P observations (Section 6);
+//   - a Karp–Luby FPRAS for #Val(q) over unions of BCQs (Corollary 5.3),
+//     plus Monte Carlo estimation and heuristic completion lower bounds;
+//   - executable versions of every hardness reduction in the paper (package
+//     internal/reductions), validated against independent counters.
+//
+// # Quick start
+//
+//	db := incompletedb.NewDatabase()
+//	db.MustAddFact("S", incompletedb.Const("a"), incompletedb.Const("b"))
+//	db.MustAddFact("S", incompletedb.Null(1), incompletedb.Const("a"))
+//	db.MustAddFact("S", incompletedb.Const("a"), incompletedb.Null(2))
+//	db.SetDomain(1, []string{"a", "b", "c"})
+//	db.SetDomain(2, []string{"a", "b"})
+//	q := incompletedb.MustParseQuery("S(x, x)")
+//	n, method, err := incompletedb.CountValuations(db, q, nil)
+//	// n = 4, the #Val(q) count of Example 2.2 / Figure 1 of the paper.
+//
+// All counts are exact big integers; the library is pure Go standard
+// library.
+package incompletedb
+
+import (
+	"math/big"
+	"math/rand"
+
+	"github.com/incompletedb/incompletedb/internal/approx"
+	"github.com/incompletedb/incompletedb/internal/classify"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// Core model types.
+type (
+	// Database is an incomplete database (T, dom): a naïve table with a
+	// finite domain per null (or one shared domain when uniform).
+	Database = core.Database
+	// Instance is a complete database: the result of applying a valuation.
+	Instance = core.Instance
+	// Fact is an atom R(a1, ..., ak) over constants and nulls.
+	Fact = core.Fact
+	// Value is a fact argument: a constant or a null.
+	Value = core.Value
+	// NullID identifies a labeled null (positive integers).
+	NullID = core.NullID
+	// Valuation maps nulls to constants.
+	Valuation = core.Valuation
+)
+
+// Query types.
+type (
+	// Query is a Boolean query.
+	Query = cq.Query
+	// BCQ is a Boolean conjunctive query.
+	BCQ = cq.BCQ
+	// UCQ is a union of Boolean conjunctive queries.
+	UCQ = cq.UCQ
+	// Negation is the negation of a Boolean query.
+	Negation = cq.Negation
+	// Tautology is the always-true query.
+	Tautology = cq.Tautology
+	// Atom is a relational atom of a conjunctive query.
+	Atom = cq.Atom
+	// BCQNeq is a BCQ extended with inequality atoms x ≠ y (footnote 4 of
+	// the paper).
+	BCQNeq = cq.BCQNeq
+)
+
+// Classification types.
+type (
+	// Variant identifies one of the eight counting problems (kind ×
+	// Codd × uniform).
+	Variant = classify.Variant
+	// ClassificationResult is the Table 1 outcome for one variant.
+	ClassificationResult = classify.Result
+	// Complexity is FP, #P-complete, #P-hard or open.
+	Complexity = classify.Complexity
+	// CountingKind selects valuations or completions.
+	CountingKind = classify.CountingKind
+)
+
+// Re-exported enum values.
+const (
+	// Valuations selects the problem #Val(q).
+	Valuations = classify.Valuations
+	// Completions selects the problem #Comp(q).
+	Completions = classify.Completions
+	// FP marks polynomial-time computability.
+	FP = classify.FP
+	// SharpPComplete marks #P-completeness.
+	SharpPComplete = classify.SharpPComplete
+	// SharpPHard marks #P-hardness without a #P membership claim.
+	SharpPHard = classify.SharpPHard
+	// OpenComplexity marks the paper's open case.
+	OpenComplexity = classify.Open
+)
+
+// CountOptions configures counting (brute-force guards).
+type CountOptions = count.Options
+
+// Method identifies the algorithm used to produce a count.
+type Method = count.Method
+
+// Model constructors, re-exported from the core model.
+var (
+	// NewDatabase returns an empty non-uniform incomplete database.
+	NewDatabase = core.NewDatabase
+	// NewUniformDatabase returns an empty uniform incomplete database.
+	NewUniformDatabase = core.NewUniformDatabase
+	// NewInstance returns an empty complete database.
+	NewInstance = core.NewInstance
+	// Const builds a constant value.
+	Const = core.Const
+	// Null builds a null value.
+	Null = core.Null
+	// ParseDatabase reads the textual database format.
+	ParseDatabase = core.ParseDatabase
+	// ParseDatabaseString reads the textual database format from a string.
+	ParseDatabaseString = core.ParseDatabaseString
+)
+
+// Query constructors.
+var (
+	// ParseQuery parses a Boolean query ("R(x,y) ∧ S(x)", "A(x) | B(y)",
+	// "!R(x,x)", "TRUE").
+	ParseQuery = cq.Parse
+	// MustParseQuery is ParseQuery that panics on error.
+	MustParseQuery = cq.MustParse
+	// ParseBCQ parses a Boolean conjunctive query.
+	ParseBCQ = cq.ParseBCQ
+	// MustParseBCQ is ParseBCQ that panics on error.
+	MustParseBCQ = cq.MustParseBCQ
+	// IsPatternOf decides the pattern relation of Definition 3.1.
+	IsPatternOf = cq.IsPatternOf
+)
+
+// Classification functions.
+var (
+	// Classify determines the Table 1 complexity of one variant for an
+	// sjfBCQ.
+	Classify = classify.Classify
+	// ClassifyAll classifies an sjfBCQ under all eight variants.
+	ClassifyAll = classify.ClassifyAll
+	// AllVariants lists the eight problem variants.
+	AllVariants = classify.AllVariants
+	// Table1 renders the dichotomy table of the paper.
+	Table1 = classify.Table1
+)
+
+// CountValuations computes #Val(q)(db) exactly, picking a polynomial-time
+// algorithm of the paper when one applies and guarded brute force
+// otherwise. It reports which method was used.
+func CountValuations(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
+	return count.CountValuations(db, q, opts)
+}
+
+// CountCompletions computes #Comp(q)(db) exactly, picking the
+// polynomial-time algorithm of Theorem 4.6 when it applies and guarded
+// brute force with canonical deduplication otherwise.
+func CountCompletions(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
+	return count.CountCompletions(db, q, opts)
+}
+
+// CountAllCompletions counts the distinct completions of db.
+func CountAllCompletions(db *Database, opts *CountOptions) (*big.Int, error) {
+	return count.BruteForceAllCompletions(db, opts)
+}
+
+// TotalValuations returns the number of valuations of db (the product of
+// its nulls' domain sizes).
+func TotalValuations(db *Database) (*big.Int, error) {
+	return db.NumValuations()
+}
+
+// EstimateValuations runs the Karp–Luby FPRAS for #Val(q)(db) with
+// multiplicative error ε and failure probability δ; q must be a (union of)
+// BCQ(s). The estimate carries the guarantee
+// Pr(|estimate − #Val| ≤ ε·#Val) ≥ 1 − δ.
+func EstimateValuations(db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
+	res, err := approx.KarpLubyValuations(db, q, eps, delta, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimate, nil
+}
+
+// MonteCarloValuations estimates #Val(q)(db) by uniform sampling (unbiased
+// but without FPRAS guarantees).
+func MonteCarloValuations(db *Database, q Query, samples int, r *rand.Rand) (*big.Int, error) {
+	res, err := approx.MonteCarloValuations(db, q, samples, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimate, nil
+}
+
+// CompletionsLowerBound samples valuations and reports the number of
+// distinct satisfying completions observed — a lower bound on #Comp(q)(db)
+// with no approximation guarantee (none is possible unless NP = RP;
+// Theorems 5.5/5.7 of the paper).
+func CompletionsLowerBound(db *Database, q Query, samples int, r *rand.Rand) (*big.Int, error) {
+	return approx.CompletionsLowerBound(db, q, samples, r)
+}
+
+// IsCertain reports whether q holds in every completion of db (the
+// classical certainty problem the counting problems refine).
+func IsCertain(db *Database, q Query, opts *CountOptions) (bool, error) {
+	return count.IsCertain(db, q, opts)
+}
+
+// IsPossible reports whether q holds in some completion of db.
+func IsPossible(db *Database, q Query, opts *CountOptions) (bool, error) {
+	return count.IsPossible(db, q, opts)
+}
+
+// Mu computes Libkin's relative frequency µ_k(q, T): the fraction of
+// valuations over the uniform domain {1, …, k} satisfying q, using db's
+// naïve table and ignoring its attached domains (Section 7 of the paper).
+func Mu(db *Database, q Query, k int, opts *CountOptions) (*big.Rat, error) {
+	return count.MuK(db, q, k, opts)
+}

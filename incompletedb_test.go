@@ -1,0 +1,154 @@
+package incompletedb
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// figure1DB builds the running example of the paper (Example 2.2).
+func figure1DB() *Database {
+	db := NewDatabase()
+	db.MustAddFact("S", Const("a"), Const("b"))
+	db.MustAddFact("S", Null(1), Const("a"))
+	db.MustAddFact("S", Const("a"), Null(2))
+	db.SetDomain(1, []string{"a", "b", "c"})
+	db.SetDomain(2, []string{"a", "b"})
+	return db
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	db := figure1DB()
+	q := MustParseQuery("S(x, x)")
+
+	total, err := TotalValuations(db)
+	if err != nil || total.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("total %v, err %v", total, err)
+	}
+	val, method, err := CountValuations(db, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("#Val = %v (method %s)", val, method)
+	}
+	comp, _, err := CountCompletions(db, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("#Comp = %v", comp)
+	}
+	all, err := CountAllCompletions(db, nil)
+	if err != nil || all.Cmp(big.NewInt(5)) != 0 {
+		t.Fatalf("all completions %v, err %v", all, err)
+	}
+}
+
+func TestFacadeClassify(t *testing.T) {
+	q := MustParseBCQ("R(x, y)")
+	rs, err := ClassifyAll(q)
+	if err != nil || len(rs) != 8 {
+		t.Fatalf("%v, err %v", rs, err)
+	}
+	r, err := Classify(Variant{Kind: Completions, Uniform: true}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Complexity != SharpPHard {
+		t.Fatalf("#Compu(R(x,y)) = %v", r.Complexity)
+	}
+	if !strings.Contains(Table1(), "R(x,y)") {
+		t.Fatal("Table1 missing entries")
+	}
+}
+
+func TestFacadeEstimators(t *testing.T) {
+	db := figure1DB()
+	q := MustParseQuery("S(x, x)")
+	r := rand.New(rand.NewSource(1))
+	est, err := EstimateValuations(db, q, 0.05, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := new(big.Int).Sub(est, big.NewInt(4))
+	if diff.CmpAbs(big.NewInt(1)) > 0 {
+		t.Fatalf("Karp–Luby estimate %v far from 4", est)
+	}
+	mc, err := MonteCarloValuations(db, q, 5000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff = new(big.Int).Sub(mc, big.NewInt(4))
+	if diff.CmpAbs(big.NewInt(1)) > 0 {
+		t.Fatalf("Monte Carlo estimate %v far from 4", mc)
+	}
+	lb, err := CompletionsLowerBound(db, q, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Cmp(big.NewInt(3)) > 0 {
+		t.Fatalf("lower bound %v exceeds the exact count 3", lb)
+	}
+}
+
+func TestFacadeParseDatabase(t *testing.T) {
+	db, err := ParseDatabaseString("uniform a b\nR(?1)\n")
+	if err != nil || !db.Uniform() {
+		t.Fatalf("parse failed: %v", err)
+	}
+	if !IsPatternOf(MustParseBCQ("R(x)"), MustParseBCQ("R(x, y) ∧ S(z)")) {
+		t.Fatal("IsPatternOf re-export broken")
+	}
+}
+
+func TestFacadeCertaintySemantics(t *testing.T) {
+	db := figure1DB()
+	q := MustParseQuery("S(x, y)")
+	cert, err := IsCertain(db, q, nil)
+	if err != nil || !cert {
+		t.Fatalf("S(x,y) should be certain: %v %v", cert, err)
+	}
+	qxx := MustParseQuery("S(x, x)")
+	cert, err = IsCertain(db, qxx, nil)
+	if err != nil || cert {
+		t.Fatalf("S(x,x) should not be certain: %v %v", cert, err)
+	}
+	poss, err := IsPossible(db, qxx, nil)
+	if err != nil || !poss {
+		t.Fatalf("S(x,x) should be possible: %v %v", poss, err)
+	}
+	// Over the Figure 1 table, µ_k(S(x,x)) = 0: the domain {1..k} is
+	// disjoint from the constants a, b, so no diagonal fact can arise.
+	mu, err := Mu(db, qxx, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Sign() != 0 {
+		t.Fatalf("µ_3 over the Figure 1 table = %v, want 0", mu)
+	}
+	// Over the all-null table {S(⊥1,⊥2)}, µ_k(S(x,x)) = 1/k.
+	free := NewDatabase()
+	free.MustAddFact("S", Null(1), Null(2))
+	mu, err = Mu(free, qxx, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatalf("µ_3 = %v, want 1/3", mu)
+	}
+}
+
+func TestFacadeInequalityQuery(t *testing.T) {
+	db := NewUniformDatabase([]string{"a", "b"})
+	db.MustAddFact("R", Null(1), Null(2))
+	q := MustParseQuery("R(x, y) ∧ x ≠ y")
+	if _, ok := q.(*BCQNeq); !ok {
+		t.Fatalf("expected BCQNeq, got %T", q)
+	}
+	n, _, err := CountValuations(db, q, nil)
+	if err != nil || n.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("count %v, err %v", n, err)
+	}
+}

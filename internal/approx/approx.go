@@ -1,0 +1,165 @@
+// Package approx implements randomized approximation for the counting
+// problems of the paper: a naïve Monte Carlo estimator, the Karp–Luby
+// FPRAS for #Val(q) when q is a union of BCQs (realizing Corollary 5.3
+// constructively), and heuristic under-approximations for counting
+// completions — which provably cannot have an FPRAS unless NP = RP
+// (Theorems 5.5/5.7), a failure mode the experiments demonstrate.
+package approx
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/cylinder"
+)
+
+// MonteCarloResult reports a naïve Monte Carlo estimate.
+type MonteCarloResult struct {
+	Estimate  *big.Int
+	Fraction  float64 // fraction of sampled valuations that satisfied q
+	Samples   int
+	Satisfied int
+}
+
+// MonteCarloValuations estimates #Val(q)(db) as (satisfying fraction) ×
+// (total valuations) over uniformly sampled valuations. It is unbiased but
+// NOT an FPRAS: when the satisfying fraction is exponentially small the
+// relative error explodes — use KarpLubyValuations for guarantees.
+func MonteCarloValuations(db *core.Database, q cq.Query, samples int, r *rand.Rand) (*MonteCarloResult, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	total, err := db.NumValuations()
+	if err != nil {
+		return nil, err
+	}
+	nulls := db.Nulls()
+	doms := make([][]string, len(nulls))
+	for i, n := range nulls {
+		doms[i] = db.Domain(n)
+		if len(doms[i]) == 0 {
+			return &MonteCarloResult{Estimate: big.NewInt(0), Samples: samples}, nil
+		}
+	}
+	sat := 0
+	v := make(core.Valuation, len(nulls))
+	for s := 0; s < samples; s++ {
+		for i, n := range nulls {
+			v[n] = doms[i][r.Intn(len(doms[i]))]
+		}
+		if q.Eval(db.Apply(v)) {
+			sat++
+		}
+	}
+	frac := float64(sat) / float64(samples)
+	est := new(big.Int).Mul(total, big.NewInt(int64(sat)))
+	est.Quo(est, big.NewInt(int64(samples)))
+	return &MonteCarloResult{Estimate: est, Fraction: frac, Samples: samples, Satisfied: sat}, nil
+}
+
+// KarpLubyResult reports a Karp–Luby estimate together with diagnostics.
+type KarpLubyResult struct {
+	Estimate  *big.Int
+	Samples   int
+	Cylinders int
+	// TotalWeight is Σ_j |C_j|, the importance-sampling normalizer.
+	TotalWeight *big.Int
+}
+
+// KarpLubyValuations estimates #Val(q)(db) for a (union of) BCQ(s) with the
+// Karp–Luby union-of-sets estimator over the query's match cylinders:
+// sample a cylinder proportionally to its weight, sample a uniform
+// valuation inside it, and average Z/cnt(ν) where cnt(ν) is the number of
+// cylinders containing ν. The estimator is unbiased, and with
+// n ≥ ⌈3·m·ln(2/δ)/ε²⌉ samples (m = number of cylinders) it is an
+// (ε,δ)-approximation — a genuine FPRAS since m is polynomial in the data
+// for a fixed query. Corollary 5.3 of the paper guarantees such a scheme
+// exists; this is the classical construction.
+func KarpLubyValuations(db *core.Database, q cq.Query, eps, delta float64, r *rand.Rand) (*KarpLubyResult, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("approx: ε must lie in (0,1), got %v", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("approx: δ must lie in (0,1), got %v", delta)
+	}
+	set, err := cylinder.Build(db, q)
+	if err != nil {
+		return nil, err
+	}
+	m := len(set.Cylinders)
+	z := set.TotalWeight()
+	if m == 0 || z.Sign() == 0 {
+		return &KarpLubyResult{Estimate: big.NewInt(0), Cylinders: m, TotalWeight: z}, nil
+	}
+	n := int(math.Ceil(3 * float64(m) * math.Log(2/delta) / (eps * eps)))
+	if n < 1 {
+		n = 1
+	}
+	// Σ 1/cnt(ν_s) as an exact rational.
+	sum := new(big.Rat)
+	for s := 0; s < n; s++ {
+		i := set.SampleIndex(r)
+		v := set.SampleValuation(i, r)
+		cnt := set.CountContaining(v)
+		if cnt <= 0 {
+			return nil, fmt.Errorf("approx: internal error: sampled valuation outside every cylinder")
+		}
+		sum.Add(sum, big.NewRat(1, int64(cnt)))
+	}
+	est := new(big.Rat).Mul(sum, new(big.Rat).SetInt(z))
+	est.Quo(est, new(big.Rat).SetInt64(int64(n)))
+	// Round to nearest integer.
+	num := new(big.Int).Mul(est.Num(), big.NewInt(2))
+	num.Add(num, est.Denom())
+	den := new(big.Int).Mul(est.Denom(), big.NewInt(2))
+	rounded := new(big.Int).Quo(num, den)
+	return &KarpLubyResult{Estimate: rounded, Samples: n, Cylinders: m, TotalWeight: z}, nil
+}
+
+// CompletionsLowerBound samples valuations and counts the distinct
+// completions seen: a (probabilistic) LOWER bound on #Comp(q)(db). The
+// paper shows no FPRAS for counting completions exists unless NP = RP
+// (Theorems 5.5 and 5.7); this heuristic under-approximation is the kind of
+// fallback Section 8 suggests, and carries no guarantee of closeness.
+func CompletionsLowerBound(db *core.Database, q cq.Query, samples int, r *rand.Rand) (*big.Int, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	nulls := db.Nulls()
+	doms := make([][]string, len(nulls))
+	for i, n := range nulls {
+		doms[i] = db.Domain(n)
+		if len(doms[i]) == 0 {
+			return big.NewInt(0), nil
+		}
+	}
+	seen := make(map[string]bool)
+	v := make(core.Valuation, len(nulls))
+	for s := 0; s < samples; s++ {
+		for i, n := range nulls {
+			v[n] = doms[i][r.Intn(len(doms[i]))]
+		}
+		inst := db.Apply(v)
+		key := inst.CanonicalKey()
+		if _, dup := seen[key]; !dup {
+			seen[key] = q.Eval(inst)
+		}
+	}
+	count := int64(0)
+	for _, sat := range seen {
+		if sat {
+			count++
+		}
+	}
+	return big.NewInt(count), nil
+}

@@ -1,0 +1,258 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+func classifyOrDie(t *testing.T, v Variant, q string) Result {
+	t.Helper()
+	r, err := Classify(v, cq.MustParseBCQ(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestVariantStrings(t *testing.T) {
+	cases := map[Variant]string{
+		{Valuations, false, false}: "#Val(q)",
+		{Valuations, true, true}:   "#Val^u_Cd(q)",
+		{Completions, false, true}: "#Comp^u(q)",
+		{Completions, true, false}: "#Comp_Cd(q)",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%#v -> %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+// TestTable1Column1 checks the non-uniform naïve #Val column.
+func TestTable1Column1(t *testing.T) {
+	v := Variant{Valuations, false, false}
+	if r := classifyOrDie(t, v, "R(x, x)"); r.Complexity != SharpPComplete {
+		t.Errorf("R(x,x): %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, v, "R(x) ∧ S(x)"); r.Complexity != SharpPComplete {
+		t.Errorf("R(x)∧S(x): %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, v, "R(x, y) ∧ S(z)"); r.Complexity != FP {
+		t.Errorf("single-occurrence query should be FP: %v", r.Complexity)
+	}
+}
+
+// TestTable1Column2 checks the uniform naïve #Val column.
+func TestTable1Column2(t *testing.T) {
+	v := Variant{Valuations, false, true}
+	for _, hard := range []string{"R(x, x)", "R(x) ∧ S(x, y) ∧ T(y)", "R(x, y) ∧ S(x, y)"} {
+		if r := classifyOrDie(t, v, hard); r.Complexity != SharpPComplete {
+			t.Errorf("%s should be #P-complete: %v", hard, r.Complexity)
+		}
+	}
+	// R(x) ∧ S(x) is tractable in the uniform setting (Example 3.10).
+	if r := classifyOrDie(t, v, "R(x) ∧ S(x)"); r.Complexity != FP {
+		t.Errorf("R(x)∧S(x) uniform should be FP: %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, v, "R(x, y) ∧ S(y)"); r.Complexity != FP {
+		t.Errorf("R(x,y)∧S(y) uniform should be FP: %v", r.Complexity)
+	}
+}
+
+// TestTable1ValCodd checks the Codd #Val rows.
+func TestTable1ValCodd(t *testing.T) {
+	v := Variant{Valuations, true, false}
+	if r := classifyOrDie(t, v, "R(x) ∧ S(x)"); r.Complexity != SharpPComplete {
+		t.Errorf("R(x)∧S(x) Codd: %v", r.Complexity)
+	}
+	// R(x,x) is tractable on Codd tables (Theorem 3.7).
+	if r := classifyOrDie(t, v, "R(x, x)"); r.Complexity != FP {
+		t.Errorf("R(x,x) Codd should be FP: %v", r.Complexity)
+	}
+
+	u := Variant{Valuations, true, true}
+	if r := classifyOrDie(t, u, "R(x) ∧ S(x, y) ∧ T(y)"); r.Complexity != SharpPComplete {
+		t.Errorf("path uniform Codd: %v", r.Complexity)
+	}
+	// The open case: R(x,y) ∧ S(x,y) on uniform Codd tables.
+	if r := classifyOrDie(t, u, "R(x, y) ∧ S(x, y)"); r.Complexity != Open {
+		t.Errorf("R(x,y)∧S(x,y) uniform Codd should be open: %v", r.Complexity)
+	}
+	// R(x,x) on uniform Codd tables: FP via Theorem 3.7.
+	if r := classifyOrDie(t, u, "R(x, x)"); r.Complexity != FP {
+		t.Errorf("R(x,x) uniform Codd should be FP: %v", r.Complexity)
+	}
+	// R(x)∧S(x) on uniform Codd: FP via Theorem 3.9's algorithm.
+	if r := classifyOrDie(t, u, "R(x) ∧ S(x)"); r.Complexity != FP {
+		t.Errorf("R(x)∧S(x) uniform Codd should be FP: %v", r.Complexity)
+	}
+}
+
+// TestTable1Completions checks the #Comp columns.
+func TestTable1Completions(t *testing.T) {
+	// Non-uniform: hard for every sjfBCQ; #P-complete on Codd tables,
+	// #P-hard (membership open) on naïve tables.
+	if r := classifyOrDie(t, Variant{Completions, false, false}, "R(x)"); r.Complexity != SharpPHard {
+		t.Errorf("#Comp(R(x)): %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, Variant{Completions, true, false}, "R(x)"); r.Complexity != SharpPComplete {
+		t.Errorf("#CompCd(R(x)): %v", r.Complexity)
+	}
+	// Uniform: dichotomy on R(x,x) / R(x,y).
+	un := Variant{Completions, false, true}
+	if r := classifyOrDie(t, un, "R(x, y)"); r.Complexity != SharpPHard {
+		t.Errorf("#Compu(R(x,y)): %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, un, "R(x, x)"); r.Complexity != SharpPHard {
+		t.Errorf("#Compu(R(x,x)): %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, un, "R(x) ∧ S(x) ∧ T(y)"); r.Complexity != FP {
+		t.Errorf("unary #Compu should be FP: %v", r.Complexity)
+	}
+	cd := Variant{Completions, true, true}
+	if r := classifyOrDie(t, cd, "R(x, y)"); r.Complexity != SharpPComplete {
+		t.Errorf("#CompuCd(R(x,y)): %v", r.Complexity)
+	}
+	if r := classifyOrDie(t, cd, "R(x)"); r.Complexity != FP {
+		t.Errorf("#CompuCd(R(x)): %v", r.Complexity)
+	}
+}
+
+// TestValEasierThanComp verifies the paper's observation that the tractable
+// cases for #Val strictly contain those for #Comp, on a catalog of queries.
+func TestValEasierThanComp(t *testing.T) {
+	queries := []string{
+		"R(x)",
+		"R(x, x)",
+		"R(x, y)",
+		"R(x) ∧ S(x)",
+		"R(x) ∧ S(y)",
+		"R(x, y) ∧ S(x, y)",
+		"R(x) ∧ S(x, y) ∧ T(y)",
+		"R(x, y) ∧ S(z)",
+	}
+	for _, qs := range queries {
+		for _, codd := range []bool{false, true} {
+			for _, uni := range []bool{false, true} {
+				val := classifyOrDie(t, Variant{Valuations, codd, uni}, qs)
+				comp := classifyOrDie(t, Variant{Completions, codd, uni}, qs)
+				if comp.Complexity == FP && val.Complexity != FP {
+					t.Errorf("%s codd=%v uniform=%v: #Comp in FP but #Val not (%v)",
+						qs, codd, uni, val.Complexity)
+				}
+			}
+		}
+	}
+}
+
+// TestApproximability checks Section 5: valuations always admit an FPRAS;
+// completions do not unless NP=RP (except FP and the open Codd case).
+func TestApproximability(t *testing.T) {
+	if r := classifyOrDie(t, Variant{Valuations, false, false}, "R(x, x)"); r.Approx != HasFPRAS {
+		t.Errorf("#Val FPRAS: %v", r.Approx)
+	}
+	if r := classifyOrDie(t, Variant{Completions, false, false}, "R(x)"); r.Approx != NoFPRASUnlessNPeqRP {
+		t.Errorf("#Comp non-uniform approx: %v", r.Approx)
+	}
+	if r := classifyOrDie(t, Variant{Completions, false, true}, "R(x, y)"); r.Approx != NoFPRASUnlessNPeqRP {
+		t.Errorf("#Compu(R(x,y)) approx: %v", r.Approx)
+	}
+	if r := classifyOrDie(t, Variant{Completions, true, true}, "R(x, y)"); r.Approx != ApproxOpen {
+		t.Errorf("#CompuCd(R(x,y)) approx should be open: %v", r.Approx)
+	}
+	if r := classifyOrDie(t, Variant{Completions, false, true}, "R(x) ∧ S(x)"); r.Approx != HasFPRAS {
+		t.Errorf("FP cases trivially admit FPRAS: %v", r.Approx)
+	}
+}
+
+func TestClassifyRejectsNonSjf(t *testing.T) {
+	selfJoin := &cq.BCQ{Atoms: []cq.Atom{
+		{Rel: "R", Vars: []string{"x"}},
+		{Rel: "R", Vars: []string{"y"}},
+	}}
+	if _, err := Classify(Variant{Valuations, false, false}, selfJoin); err == nil {
+		t.Fatal("self-join accepted")
+	}
+	if _, err := Classify(Variant{Valuations, false, false}, &cq.BCQ{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestClassifyAllAndTable(t *testing.T) {
+	rs, err := ClassifyAll(cq.MustParseBCQ("R(x, y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	tab := Table1()
+	for _, frag := range []string{"R(x,x)", "R(x) ∧ S(x,y) ∧ T(y)", "dichotomy open", "hard for every sjfBCQ"} {
+		if !strings.Contains(tab, frag) {
+			t.Errorf("Table1 missing %q:\n%s", frag, tab)
+		}
+	}
+}
+
+// TestHardPatternIsWitness: whenever a hard pattern is reported, it really
+// is a pattern of the query.
+func TestHardPatternIsWitness(t *testing.T) {
+	queries := []string{
+		"R(x, x)", "R(x, y)", "R(x) ∧ S(x)", "R(x) ∧ S(x, y) ∧ T(y)",
+		"R(x, y) ∧ S(x, y)", "A(x, y, z) ∧ B(y) ∧ C(z)",
+	}
+	for _, qs := range queries {
+		q := cq.MustParseBCQ(qs)
+		rs, err := ClassifyAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.HardPattern != nil && !cq.IsPatternOf(r.HardPattern, q) {
+				t.Errorf("%v for %s: reported pattern %v is not a pattern of the query",
+					r.Variant, qs, r.HardPattern)
+			}
+			if r.Complexity == FP && r.HardPattern != nil {
+				t.Errorf("%v for %s: FP outcome with a hard pattern", r.Variant, qs)
+			}
+		}
+	}
+}
+
+// TestMonotoneInRestrictions: restricting to Codd tables or to uniform
+// domains never makes a problem harder (FP stays FP).
+func TestMonotoneInRestrictions(t *testing.T) {
+	queries := []string{
+		"R(x)", "R(x, x)", "R(x, y)", "R(x) ∧ S(x)", "R(x) ∧ S(y)",
+		"R(x, y) ∧ S(x, y)", "R(x) ∧ S(x, y) ∧ T(y)",
+	}
+	rank := func(c Complexity) int {
+		switch c {
+		case FP:
+			return 0
+		case Open:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for _, qs := range queries {
+		for _, kind := range []CountingKind{Valuations, Completions} {
+			base := classifyOrDie(t, Variant{kind, false, false}, qs)
+			codd := classifyOrDie(t, Variant{kind, true, false}, qs)
+			if rank(codd.Complexity) > rank(base.Complexity) {
+				t.Errorf("%s: Codd restriction made %v harder (%v -> %v)", qs, kind, base.Complexity, codd.Complexity)
+			}
+			uni := classifyOrDie(t, Variant{kind, false, true}, qs)
+			if rank(uni.Complexity) > rank(base.Complexity) {
+				t.Errorf("%s: uniform restriction made %v harder (%v -> %v)", qs, kind, base.Complexity, uni.Complexity)
+			}
+			both := classifyOrDie(t, Variant{kind, true, true}, qs)
+			if rank(both.Complexity) > rank(codd.Complexity) || rank(both.Complexity) > rank(uni.Complexity) {
+				t.Errorf("%s: combined restriction made %v harder", qs, kind)
+			}
+		}
+	}
+}

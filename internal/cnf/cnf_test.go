@@ -1,0 +1,176 @@
+package cnf
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func eqInt(t *testing.T, got *big.Int, want int64, msg string) {
+	t.Helper()
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("%s = %v, want %d", msg, got, want)
+	}
+}
+
+func TestLit(t *testing.T) {
+	if Lit(3).Var() != 3 || Lit(-3).Var() != 3 {
+		t.Fatal("Var wrong")
+	}
+	if !Lit(3).Positive() || Lit(-3).Positive() {
+		t.Fatal("Positive wrong")
+	}
+}
+
+func TestAddClauseErrors(t *testing.T) {
+	f := New(3)
+	if err := f.AddClause(1, 2, 4); err == nil {
+		t.Fatal("out-of-range literal accepted")
+	}
+	if err := f.AddClause(0, 1, 2); err == nil {
+		t.Fatal("zero literal accepted")
+	}
+	if err := f.AddClause(1, -2, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalAndString(t *testing.T) {
+	f := New(3)
+	f.MustAddClause(1, -2, 3)
+	if !f.Eval([]bool{true, true, false}) {
+		t.Fatal("x1 satisfies the clause")
+	}
+	if f.Eval([]bool{false, true, false}) {
+		t.Fatal("all literals false should falsify")
+	}
+	if New(0).String() != "⊤" {
+		t.Fatal("empty formula rendering")
+	}
+	if f.String() != "(x1 ∨ ¬x2 ∨ x3)" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestCountSatisfying(t *testing.T) {
+	// Single clause on 3 vars: 8 - 1 = 7 satisfying assignments.
+	f := New(3)
+	f.MustAddClause(1, 2, 3)
+	got, err := f.CountSatisfying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, got, 7, "#SAT of one clause")
+
+	// Contradiction: (x ∨ x ∨ x) ∧ (¬x ∨ ¬x ∨ ¬x).
+	g := New(1)
+	g.MustAddClause(1, 1, 1)
+	g.MustAddClause(-1, -1, -1)
+	got2, _ := g.CountSatisfying()
+	eqInt(t, got2, 0, "#SAT of contradiction")
+
+	sat, err := g.Satisfiable()
+	if err != nil || sat {
+		t.Fatal("contradiction reported satisfiable")
+	}
+}
+
+func TestCountSatisfyingGuard(t *testing.T) {
+	f := New(30)
+	if _, err := f.CountSatisfying(); err == nil {
+		t.Fatal("brute-force bound not enforced")
+	}
+	if _, err := f.Satisfiable(); err == nil {
+		t.Fatal("brute-force bound not enforced")
+	}
+	if _, err := f.CountSatisfyingPrefixes(2); err == nil {
+		t.Fatal("brute-force bound not enforced")
+	}
+}
+
+func TestCountSatisfyingPrefixes(t *testing.T) {
+	// f = (x1 ∨ x1 ∨ x1): satisfying assignments require x1 = true.
+	f := New(3)
+	f.MustAddClause(1, 1, 1)
+	// Prefix k=1: only x1=true extends. -> 1
+	got, err := f.CountSatisfyingPrefixes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, got, 1, "#1-3SAT")
+	// Prefix k=2: (true, false), (true, true). -> 2
+	got2, _ := f.CountSatisfyingPrefixes(2)
+	eqInt(t, got2, 2, "#2-3SAT")
+	// Prefix k=3 equals #SAT = 4.
+	got3, _ := f.CountSatisfyingPrefixes(3)
+	eqInt(t, got3, 4, "#3-3SAT equals #SAT")
+
+	if _, err := f.CountSatisfyingPrefixes(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := f.CountSatisfyingPrefixes(4); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+// TestPrefixCountProperties: #k3SAT is monotone in k up to doubling, equals
+// #SAT at k = n, and is bounded by 2^k and by #SAT from below when k = n.
+func TestPrefixCountProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		form, err := Random3CNF(n, 1+r.Intn(6), r)
+		if err != nil {
+			return false
+		}
+		sat, err := form.CountSatisfying()
+		if err != nil {
+			return false
+		}
+		atN, err := form.CountSatisfyingPrefixes(n)
+		if err != nil || atN.Cmp(sat) != 0 {
+			return false
+		}
+		prev := big.NewInt(-1)
+		for k := 1; k <= n; k++ {
+			c, err := form.CountSatisfyingPrefixes(k)
+			if err != nil {
+				return false
+			}
+			// Bounded by 2^k.
+			if c.Cmp(new(big.Int).Lsh(big.NewInt(1), uint(k))) > 0 {
+				return false
+			}
+			// Non-decreasing in k (every good k-prefix extends some good
+			// (k-1)-prefix; each (k-1)-prefix splits into at most 2).
+			if c.Cmp(prev) < 0 && prev.Sign() >= 0 {
+				return false
+			}
+			doubled := new(big.Int).Lsh(prev, 1)
+			if prev.Sign() >= 0 && c.Cmp(doubled) > 0 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandom3CNFErrors(t *testing.T) {
+	if _, err := Random3CNF(2, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("too few variables accepted")
+	}
+	f, err := Random3CNF(5, 10, rand.New(rand.NewSource(1)))
+	if err != nil || len(f.Clauses) != 10 {
+		t.Fatal("random formula wrong")
+	}
+	for _, c := range f.Clauses {
+		if c[0].Var() == c[1].Var() || c[1].Var() == c[2].Var() || c[0].Var() == c[2].Var() {
+			t.Fatal("clause variables not distinct")
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package combinat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func eqInt(t *testing.T, got *big.Int, want int64, msg string) {
+	t.Helper()
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("%s = %v, want %d", msg, got, want)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	eqInt(t, Binomial(5, 2), 10, "C(5,2)")
+	eqInt(t, Binomial(0, 0), 1, "C(0,0)")
+	eqInt(t, Binomial(4, 5), 0, "C(4,5)")
+	eqInt(t, Binomial(4, -1), 0, "C(4,-1)")
+	eqInt(t, Binomial(-2, 1), 0, "C(-2,1)")
+}
+
+func TestFactorial(t *testing.T) {
+	eqInt(t, Factorial(0), 1, "0!")
+	eqInt(t, Factorial(5), 120, "5!")
+	eqInt(t, Factorial(-1), 0, "(-1)!")
+}
+
+func TestMultinomial(t *testing.T) {
+	// 6! / (2! 2! 2!) = 90; the remainder bucket of size 2 is implicit in
+	// the first call and explicit in the second.
+	eqInt(t, Multinomial(6, 2, 2), 90, "M(6;2,2,·2)")
+	eqInt(t, Multinomial(6, 2, 2, 2), 90, "M(6;2,2,2)")
+	eqInt(t, Multinomial(7, 2, 2), 210, "M(7;2,2,·3)")
+	eqInt(t, Multinomial(3, 4), 0, "M(3;4)")
+	eqInt(t, Multinomial(3, -1), 0, "M(3;-1)")
+	eqInt(t, Multinomial(3), 1, "M(3;)")
+}
+
+func TestSurjections(t *testing.T) {
+	eqInt(t, Surjections(0, 0), 1, "surj(0,0)")
+	eqInt(t, Surjections(3, 0), 0, "surj(3,0)")
+	eqInt(t, Surjections(2, 3), 0, "surj(2,3)")
+	eqInt(t, Surjections(3, 2), 6, "surj(3,2)")
+	eqInt(t, Surjections(4, 2), 14, "surj(4,2)")
+	eqInt(t, Surjections(4, 4), 24, "surj(4,4)")
+	eqInt(t, Surjections(-1, 0), 0, "surj(-1,0)")
+}
+
+// TestSurjectionsBruteForce cross-checks the inclusion–exclusion formula
+// against explicit enumeration of functions.
+func TestSurjectionsBruteForce(t *testing.T) {
+	count := func(n, m int) int64 {
+		if m == 0 {
+			if n == 0 {
+				return 1
+			}
+			return 0
+		}
+		total := int64(0)
+		f := make([]int, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				seen := make([]bool, m)
+				for _, x := range f {
+					seen[x] = true
+				}
+				for _, s := range seen {
+					if !s {
+						return
+					}
+				}
+				total++
+				return
+			}
+			for x := 0; x < m; x++ {
+				f[i] = x
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		return total
+	}
+	for n := 0; n <= 6; n++ {
+		for m := 0; m <= n; m++ {
+			want := count(n, m)
+			eqInt(t, Surjections(n, m), want, "surj")
+		}
+	}
+}
+
+// TestSurjectionSum verifies Σ_m C(d,m)·surj(n→m) = d^n, i.e. every function
+// into a d-set is a surjection onto exactly one subset.
+func TestSurjectionSum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(8)
+		d := 1 + r.Intn(8)
+		sum := big.NewInt(0)
+		for m := 0; m <= n && m <= d; m++ {
+			term := new(big.Int).Mul(Binomial(d, m), Surjections(n, m))
+			sum.Add(sum, term)
+		}
+		return sum.Cmp(PowInt(int64(d), n)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStirling2(t *testing.T) {
+	eqInt(t, Stirling2(0, 0), 1, "S(0,0)")
+	eqInt(t, Stirling2(4, 2), 7, "S(4,2)")
+	eqInt(t, Stirling2(5, 3), 25, "S(5,3)")
+	eqInt(t, Stirling2(3, 0), 0, "S(3,0)")
+}
+
+func TestPow(t *testing.T) {
+	eqInt(t, PowInt(2, 10), 1024, "2^10")
+	eqInt(t, PowInt(7, 0), 1, "7^0")
+	eqInt(t, PowInt(3, -1), 0, "3^-1")
+}
+
+func TestForEachVector(t *testing.T) {
+	var got [][]int
+	ForEachVector([]int{1, 2}, func(v []int) bool {
+		got = append(got, append([]int(nil), v...))
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("enumerated %d vectors, want 6", len(got))
+	}
+	count := 0
+	ForEachVector([]int{3, 3}, func(v []int) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatal("early stop failed")
+	}
+	// Empty bounds: exactly one (empty) vector.
+	count = 0
+	ForEachVector(nil, func(v []int) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("empty bounds gave %d vectors", count)
+	}
+}
+
+func TestForEachComposition(t *testing.T) {
+	count := 0
+	ForEachComposition(4, 3, func(v []int) bool {
+		if v[0]+v[1]+v[2] != 4 {
+			t.Fatalf("bad composition %v", v)
+		}
+		count++
+		return true
+	})
+	// C(4+3-1, 3-1) = 15.
+	if count != 15 {
+		t.Fatalf("compositions of 4 into 3 parts = %d, want 15", count)
+	}
+	count = 0
+	ForEachComposition(0, 0, func(v []int) bool { count++; return true })
+	if count != 1 {
+		t.Fatal("empty composition of 0 should be enumerated once")
+	}
+	count = 0
+	ForEachComposition(2, 0, func(v []int) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("no composition of 2 into 0 parts")
+	}
+}
+
+func TestForEachSubset(t *testing.T) {
+	var masks []uint32
+	ForEachSubset(3, func(m uint32) bool { masks = append(masks, m); return true })
+	if len(masks) != 8 {
+		t.Fatalf("subsets of 3 = %d", len(masks))
+	}
+}
+
+func TestSolveRatSystem(t *testing.T) {
+	a := [][]*big.Rat{
+		{big.NewRat(2, 1), big.NewRat(1, 1)},
+		{big.NewRat(1, 1), big.NewRat(3, 1)},
+	}
+	b := []*big.Rat{big.NewRat(5, 1), big.NewRat(10, 1)}
+	x, err := SolveRatSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(big.NewRat(1, 1)) != 0 || x[1].Cmp(big.NewRat(3, 1)) != 0 {
+		t.Fatalf("solution %v", x)
+	}
+}
+
+func TestSolveRatSystemSingular(t *testing.T) {
+	a := [][]*big.Rat{
+		{big.NewRat(1, 1), big.NewRat(1, 1)},
+		{big.NewRat(2, 1), big.NewRat(2, 1)},
+	}
+	b := []*big.Rat{big.NewRat(1, 1), big.NewRat(2, 1)}
+	if _, err := SolveRatSystem(a, b); err == nil {
+		t.Fatal("singular system not detected")
+	}
+}
+
+func TestSolveRatSystemErrors(t *testing.T) {
+	if _, err := SolveRatSystem(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	a := [][]*big.Rat{{big.NewRat(1, 1)}}
+	if _, err := SolveRatSystem(a, []*big.Rat{}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	bad := [][]*big.Rat{{big.NewRat(1, 1), big.NewRat(1, 1)}, {big.NewRat(1, 1)}}
+	if _, err := SolveRatSystem(bad, []*big.Rat{big.NewRat(1, 1), big.NewRat(1, 1)}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+// TestSolveRandomSystems generates random integer systems with known
+// solutions and solves them exactly.
+func TestSolveRandomSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		want := make([]*big.Rat, n)
+		for i := range want {
+			want[i] = big.NewRat(int64(r.Intn(21)-10), int64(1+r.Intn(5)))
+		}
+		a := make([][]*big.Rat, n)
+		b := make([]*big.Rat, n)
+		for i := 0; i < n; i++ {
+			a[i] = make([]*big.Rat, n)
+			b[i] = new(big.Rat)
+			for j := 0; j < n; j++ {
+				a[i][j] = big.NewRat(int64(r.Intn(11)-5), 1)
+				b[i].Add(b[i], new(big.Rat).Mul(a[i][j], want[j]))
+			}
+		}
+		x, err := SolveRatSystem(a, b)
+		if err != nil {
+			return true // singular random matrix; skip
+		}
+		for i := range x {
+			if x[i].Cmp(want[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLagrangeCoefficients(t *testing.T) {
+	// p(x) = 3 + 2x - x^2 through x = 0,1,2.
+	xs := []*big.Rat{big.NewRat(0, 1), big.NewRat(1, 1), big.NewRat(2, 1)}
+	ys := []*big.Rat{big.NewRat(3, 1), big.NewRat(4, 1), big.NewRat(3, 1)}
+	c, err := LagrangeCoefficients(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*big.Rat{big.NewRat(3, 1), big.NewRat(2, 1), big.NewRat(-1, 1)}
+	for i := range want {
+		if c[i].Cmp(want[i]) != 0 {
+			t.Fatalf("coefficient %d = %v, want %v", i, c[i], want[i])
+		}
+	}
+	// Evaluate back at a fresh point.
+	if got := EvalPoly(c, big.NewRat(5, 1)); got.Cmp(big.NewRat(3+10-25, 1)) != 0 {
+		t.Fatalf("EvalPoly = %v", got)
+	}
+}
+
+func TestLagrangeErrors(t *testing.T) {
+	if _, err := LagrangeCoefficients(nil, nil); err == nil {
+		t.Fatal("empty interpolation accepted")
+	}
+	xs := []*big.Rat{big.NewRat(1, 1), big.NewRat(1, 1)}
+	ys := []*big.Rat{big.NewRat(0, 1), big.NewRat(1, 1)}
+	if _, err := LagrangeCoefficients(xs, ys); err == nil {
+		t.Fatal("duplicate x accepted")
+	}
+}
+
+func TestRatIsInt(t *testing.T) {
+	if v, ok := RatIsInt(big.NewRat(6, 2)); !ok || v.Cmp(big.NewInt(3)) != 0 {
+		t.Fatal("6/2 should be the integer 3")
+	}
+	if _, ok := RatIsInt(big.NewRat(1, 2)); ok {
+		t.Fatal("1/2 is not an integer")
+	}
+}
+
+func TestSurjectionsCacheConsistency(t *testing.T) {
+	a := Surjections(10, 4)
+	b := Surjections(10, 4)
+	if a.Cmp(b) != 0 {
+		t.Fatal("cache returned different values")
+	}
+	a.SetInt64(0) // mutating the returned value must not poison the cache
+	if Surjections(10, 4).Cmp(b) != 0 {
+		t.Fatal("cache poisoned by caller mutation")
+	}
+}

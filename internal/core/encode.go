@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseDatabase reads the textual database format produced by
+// Database.String:
+//
+//	# comment lines and blank lines are ignored
+//	uniform a b c        -- declares a uniform database with domain {a,b,c}
+//	dom ?1 a b           -- declares the domain of null ?1 (non-uniform)
+//	R(a, ?1)             -- a fact
+//
+// A database is uniform if and only if a "uniform" line appears (it must
+// appear before any "dom" line; the two kinds are mutually exclusive).
+func ParseDatabase(r io.Reader) (*Database, error) {
+	var db *Database
+	ensureUniform := func(dom []string) error {
+		if db != nil {
+			return fmt.Errorf("core: duplicate or late 'uniform' declaration")
+		}
+		db = NewUniformDatabase(dom)
+		return nil
+	}
+	ensureNonUniform := func() error {
+		if db == nil {
+			db = NewDatabase()
+			return nil
+		}
+		if db.Uniform() {
+			return fmt.Errorf("core: 'dom' declaration in a uniform database")
+		}
+		return nil
+	}
+	ensureAny := func() {
+		if db == nil {
+			db = NewDatabase()
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "uniform"):
+			fields := strings.Fields(line)
+			if err := ensureUniform(fields[1:]); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "dom "):
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: malformed dom declaration", lineNo)
+			}
+			if err := ensureNonUniform(); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			v, err := ParseValue(fields[1])
+			if err != nil || !v.IsNull() {
+				return nil, fmt.Errorf("line %d: dom expects a null, got %q", lineNo, fields[1])
+			}
+			if err := db.SetDomain(v.NullID(), fields[2:]); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		default:
+			ensureAny()
+			f, err := ParseFact(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if err := db.AddFact(f.Rel, f.Args...); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		db = NewDatabase()
+	}
+	return db, nil
+}
+
+// ParseDatabaseString is ParseDatabase over a string.
+func ParseDatabaseString(s string) (*Database, error) {
+	return ParseDatabase(strings.NewReader(s))
+}

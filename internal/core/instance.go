@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// Instance is a complete database: a set of ground facts. It is the result
+// of applying a valuation to an incomplete database, and the object on which
+// Boolean queries are evaluated.
+type Instance struct {
+	tuples map[string][][]string
+	keys   map[string]bool
+	size   int
+}
+
+// NewInstance returns an empty complete database.
+func NewInstance() *Instance {
+	return &Instance{
+		tuples: make(map[string][][]string),
+		keys:   make(map[string]bool),
+	}
+}
+
+func groundKey(rel string, args []string) string {
+	var b strings.Builder
+	b.WriteString(rel)
+	for _, a := range args {
+		b.WriteByte('\x00')
+		b.WriteString(a)
+	}
+	return b.String()
+}
+
+// Add inserts the ground fact rel(args...); duplicates are ignored.
+func (i *Instance) Add(rel string, args ...string) {
+	k := groundKey(rel, args)
+	if i.keys[k] {
+		return
+	}
+	i.keys[k] = true
+	i.tuples[rel] = append(i.tuples[rel], append([]string(nil), args...))
+	i.size++
+}
+
+// Has reports whether the ground fact rel(args...) is present.
+func (i *Instance) Has(rel string, args ...string) bool {
+	return i.keys[groundKey(rel, args)]
+}
+
+// Tuples returns the tuples of relation rel, in insertion order. The result
+// must not be modified.
+func (i *Instance) Tuples(rel string) [][]string { return i.tuples[rel] }
+
+// Relations returns the relation names with at least one tuple, sorted.
+func (i *Instance) Relations() []string {
+	out := make([]string, 0, len(i.tuples))
+	for r := range i.tuples {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of (distinct) facts.
+func (i *Instance) Size() int { return i.size }
+
+// CanonicalKey returns a canonical encoding of the instance: the sorted fact
+// keys joined by newlines. Two instances are equal as databases if and only
+// if their canonical keys are equal. It is used to deduplicate completions.
+func (i *Instance) CanonicalKey() string {
+	ks := make([]string, 0, len(i.keys))
+	for k := range i.keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "\n")
+}
+
+// String renders the instance with one fact per line, sorted.
+func (i *Instance) String() string {
+	var lines []string
+	for _, r := range i.Relations() {
+		for _, t := range i.tuples[r] {
+			lines = append(lines, r+"("+strings.Join(t, ", ")+")")
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Contains reports whether every fact of other is a fact of i.
+func (i *Instance) Contains(other *Instance) bool {
+	for k := range other.keys {
+		if !i.keys[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// Valuation maps nulls to constants. A valuation ν of a database D must
+// assign to every null of D a constant of its domain; ForEachValuation
+// produces exactly those.
+type Valuation map[NullID]string
+
+// Clone returns a copy of the valuation.
+func (v Valuation) Clone() Valuation {
+	c := make(Valuation, len(v))
+	for k, val := range v {
+		c[k] = val
+	}
+	return c
+}
+
+// String renders the valuation as "{?1→a, ?2→b}" in null-ID order.
+func (v Valuation) String() string {
+	ids := make([]NullID, 0, len(v))
+	for n := range v {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, n := range ids {
+		parts[i] = n.String() + "→" + v[n]
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// IsValuationOf reports whether v assigns to every null of d a constant in
+// that null's domain (v may also assign nulls not occurring in d).
+func (v Valuation) IsValuationOf(d *Database) bool {
+	for _, n := range d.Nulls() {
+		c, ok := v[n]
+		if !ok {
+			return false
+		}
+		found := false
+		for _, x := range d.Domain(n) {
+			if x == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+// Package core implements the data model of incomplete relational databases
+// under the closed-world assumption, following Section 2 of Arenas, Barceló
+// and Monet, "Counting Problems over Incomplete Databases" (PODS 2020).
+//
+// An incomplete database D = (T, dom) is a set of facts T whose arguments are
+// constants or labeled nulls, together with a finite domain for every null
+// (either per-null in the non-uniform setting, or a single shared domain in
+// the uniform setting). A valuation maps every null to a constant of its
+// domain; applying a valuation yields a completion, a complete database under
+// set semantics (duplicate facts collapse).
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NullID identifies a labeled null. The zero value is invalid; valid nulls
+// have positive IDs. Two occurrences of the same NullID in a database denote
+// the same unknown value (a naïve table); if every null occurs at most once,
+// the database is a Codd table.
+type NullID int
+
+// String returns the textual form of the null, e.g. "?3".
+func (n NullID) String() string { return "?" + strconv.Itoa(int(n)) }
+
+// Value is an argument of a fact: either a constant or a null.
+// The zero Value is the empty-string constant.
+type Value struct {
+	c string
+	n NullID
+}
+
+// Const returns a constant value.
+func Const(s string) Value { return Value{c: s} }
+
+// Null returns a null value. It panics if id is not positive, since NullID 0
+// is reserved as "not a null".
+func Null(id NullID) Value {
+	if id <= 0 {
+		panic(fmt.Sprintf("core: invalid null id %d", id))
+	}
+	return Value{n: id}
+}
+
+// IsNull reports whether the value is a null.
+func (v Value) IsNull() bool { return v.n > 0 }
+
+// NullID returns the null identifier, or 0 if the value is a constant.
+func (v Value) NullID() NullID { return v.n }
+
+// Constant returns the constant name. It panics if the value is a null.
+func (v Value) Constant() string {
+	if v.IsNull() {
+		panic("core: Constant called on a null value")
+	}
+	return v.c
+}
+
+// String renders constants verbatim and nulls as "?<id>".
+func (v Value) String() string {
+	if v.IsNull() {
+		return v.n.String()
+	}
+	return v.c
+}
+
+// ParseValue parses the textual form produced by Value.String: a token
+// starting with '?' followed by a positive integer is a null, anything else
+// is a constant.
+func ParseValue(s string) (Value, error) {
+	if strings.HasPrefix(s, "?") {
+		id, err := strconv.Atoi(s[1:])
+		if err != nil || id <= 0 {
+			return Value{}, fmt.Errorf("core: invalid null token %q", s)
+		}
+		return Null(NullID(id)), nil
+	}
+	return Const(s), nil
+}

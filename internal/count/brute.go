@@ -1,0 +1,123 @@
+// Package count implements the counting problems #Val(q) and #Comp(q) of
+// the paper: guarded brute-force baselines that enumerate valuations (and
+// deduplicate completions), and the paper's four polynomial-time algorithms
+// for the tractable sides of the dichotomies of Table 1 (Theorems 3.6, 3.7,
+// 3.9 and 4.6), together with an automatic dispatcher.
+//
+// All counts are exact big integers.
+package count
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// DefaultMaxValuations is the default guard for brute-force enumeration.
+const DefaultMaxValuations = 1 << 22
+
+// Options configures the counting functions.
+type Options struct {
+	// MaxValuations bounds the number of valuations brute-force
+	// enumeration will visit; 0 means DefaultMaxValuations.
+	MaxValuations int64
+}
+
+func (o *Options) maxValuations() *big.Int {
+	if o == nil || o.MaxValuations <= 0 {
+		return big.NewInt(DefaultMaxValuations)
+	}
+	return big.NewInt(o.MaxValuations)
+}
+
+func guardBrute(db *core.Database, opts *Options) error {
+	total, err := db.NumValuations()
+	if err != nil {
+		return err
+	}
+	if total.Cmp(opts.maxValuations()) > 0 {
+		return fmt.Errorf("count: %v valuations exceed the brute-force guard %v; use an exact algorithm or an estimator", total, opts.maxValuations())
+	}
+	return nil
+}
+
+// BruteForceValuations counts the valuations ν of db with ν(db) ⊨ q by
+// exhaustive enumeration. It fails if the valuation space exceeds the
+// guard in opts.
+func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
+	if err := guardBrute(db, opts); err != nil {
+		return nil, err
+	}
+	count := big.NewInt(0)
+	one := big.NewInt(1)
+	err := db.ForEachValuation(func(v core.Valuation) bool {
+		if q.Eval(db.Apply(v)) {
+			count.Add(count, one)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return count, nil
+}
+
+// BruteForceCompletions counts the distinct completions ν(db) of db with
+// ν(db) ⊨ q by exhaustive enumeration with canonical deduplication. It
+// fails if the valuation space exceeds the guard in opts.
+func BruteForceCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
+	if err := guardBrute(db, opts); err != nil {
+		return nil, err
+	}
+	// seen maps each completion's canonical key to whether it satisfies q,
+	// so every distinct completion is evaluated exactly once.
+	seen := make(map[string]bool)
+	err := db.ForEachValuation(func(v core.Valuation) bool {
+		inst := db.Apply(v)
+		key := inst.CanonicalKey()
+		if _, visited := seen[key]; !visited {
+			seen[key] = q.Eval(inst)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	count := int64(0)
+	for _, sat := range seen {
+		if sat {
+			count++
+		}
+	}
+	return big.NewInt(count), nil
+}
+
+// BruteForceAllCompletions counts all distinct completions of db.
+func BruteForceAllCompletions(db *core.Database, opts *Options) (*big.Int, error) {
+	return BruteForceCompletions(db, cq.Tautology{}, opts)
+}
+
+// EnumerateCompletions returns every distinct completion of db (for
+// debugging and tests); it fails when the guard is exceeded.
+func EnumerateCompletions(db *core.Database, opts *Options) ([]*core.Instance, error) {
+	if err := guardBrute(db, opts); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []*core.Instance
+	err := db.ForEachValuation(func(v core.Valuation) bool {
+		inst := db.Apply(v)
+		key := inst.CanonicalKey()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, inst)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

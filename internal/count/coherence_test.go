@@ -1,0 +1,203 @@
+package count
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/classify"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// enumerateSJFQueries generates all sjfBCQs with up to maxAtoms atoms of
+// arity up to maxArity over a pool of variables, up to variable renaming
+// (variables are chosen canonically: each position picks an existing
+// variable or the next fresh one).
+func enumerateSJFQueries(maxAtoms, maxArity, maxVars int) []*cq.BCQ {
+	var out []*cq.BCQ
+	var build func(atoms []cq.Atom, used int)
+	build = func(atoms []cq.Atom, used int) {
+		if len(atoms) > 0 {
+			q := &cq.BCQ{Atoms: append([]cq.Atom(nil), atoms...)}
+			out = append(out, q.Clone())
+		}
+		if len(atoms) == maxAtoms {
+			return
+		}
+		rel := fmt.Sprintf("R%d", len(atoms))
+		for arity := 1; arity <= maxArity; arity++ {
+			vars := make([]string, arity)
+			var fill func(p, u int)
+			fill = func(p, u int) {
+				if p == arity {
+					atom := cq.Atom{Rel: rel, Vars: append([]string(nil), vars...)}
+					build(append(atoms, atom), u)
+					return
+				}
+				limit := u + 1
+				if limit > maxVars {
+					limit = maxVars
+				}
+				for v := 0; v < limit; v++ {
+					vars[p] = fmt.Sprintf("x%d", v)
+					next := u
+					if v == u {
+						next = u + 1
+					}
+					fill(p+1, next)
+				}
+			}
+			fill(0, used)
+		}
+	}
+	build(nil, 0)
+	return out
+}
+
+// TestClassifierAlgorithmCoherence systematically checks, over every small
+// sjfBCQ, that the Table 1 classification and the FP algorithms'
+// preconditions coincide: a variant classified FP must have its dedicated
+// algorithm accept the query, and a variant classified hard (or open) must
+// have it refuse — the executable content of the dichotomies.
+func TestClassifierAlgorithmCoherence(t *testing.T) {
+	queries := enumerateSJFQueries(3, 2, 3)
+	if len(queries) < 100 {
+		t.Fatalf("query enumeration too small: %d", len(queries))
+	}
+	t.Logf("checking %d queries", len(queries))
+
+	// Small sample databases per setting.
+	r := rand.New(rand.NewSource(99))
+	makeDBs := func(q *cq.BCQ, uniform, codd bool) *core.Database {
+		var db *core.Database
+		dom := []string{"a", "b"}
+		if uniform {
+			db = core.NewUniformDatabase(dom)
+		} else {
+			db = core.NewDatabase()
+		}
+		next := core.NullID(1)
+		for _, a := range q.Atoms {
+			args := make([]core.Value, len(a.Vars))
+			for i := range args {
+				if codd || r.Intn(2) == 0 {
+					args[i] = core.Null(next)
+					if !uniform {
+						db.SetDomain(next, dom)
+					}
+					next++
+				} else {
+					// Naïve tables may reuse null ?1.
+					args[i] = core.Null(1)
+					if !uniform {
+						db.SetDomain(1, dom)
+					}
+				}
+			}
+			db.MustAddFact(a.Rel, args...)
+		}
+		return db
+	}
+
+	for _, q := range queries {
+		hasRxx := cq.HasRepeatedVarAtom(q)
+		hasRxSx := cq.HasSharedVarAtoms(q)
+
+		// Variant 1: #Val non-uniform naïve (Theorem 3.6).
+		res, err := classify.Classify(classify.Variant{Kind: classify.Valuations}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := makeDBs(q, false, false)
+		_, algErr := ValuationsSingleOccurrence(db, q)
+		if (res.Complexity == classify.FP) != (algErr == nil) {
+			t.Errorf("%v: Thm 3.6 coherence broken (classified %v, algorithm err %v)", q, res.Complexity, algErr)
+		}
+
+		// Variant 2: #Val Codd (Theorem 3.7).
+		res, err = classify.Classify(classify.Variant{Kind: classify.Valuations, Codd: true}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coddDB := makeDBs(q, false, true)
+		_, algErr = ValuationsCodd(coddDB, q)
+		if (res.Complexity == classify.FP) != (algErr == nil) {
+			t.Errorf("%v: Thm 3.7 coherence broken (classified %v, algorithm err %v)", q, res.Complexity, algErr)
+		}
+
+		// Variant 3: #Val uniform naïve (Theorem 3.9).
+		res, err = classify.Classify(classify.Variant{Kind: classify.Valuations, Uniform: true}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniDB := makeDBs(q, true, false)
+		_, algErr = ValuationsUniform(uniDB, q)
+		if (res.Complexity == classify.FP) != (algErr == nil) {
+			t.Errorf("%v: Thm 3.9 coherence broken (classified %v, algorithm err %v)", q, res.Complexity, algErr)
+		}
+
+		// Variant 4: #Comp uniform (Theorem 4.6); the algorithm's guard is
+		// on the query shape (unary atoms).
+		res, err = classify.Classify(classify.Variant{Kind: classify.Completions, Uniform: true}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cq.AllAtomsUnary(q) {
+			uq := makeDBs(q, true, false)
+			_, algErr = CompletionsUniform(uq, q)
+		} else {
+			algErr = fmt.Errorf("non-unary")
+		}
+		if (res.Complexity == classify.FP) != (algErr == nil) {
+			t.Errorf("%v: Thm 4.6 coherence broken (classified %v, algorithm err %v)", q, res.Complexity, algErr)
+		}
+
+		// Variant 5: #Val uniform Codd — FP iff one of the two algorithms
+		// applies; Open exactly when neither applies but the path pattern
+		// is absent.
+		res, err = classify.Classify(classify.Variant{Kind: classify.Valuations, Codd: true, Uniform: true}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniformOK := !hasRxx && !cq.HasPathPattern(q) && !cq.HasDoublySharedPair(q)
+		coddOK := !hasRxSx
+		switch res.Complexity {
+		case classify.FP:
+			if !uniformOK && !coddOK {
+				t.Errorf("%v: classified FP for uniform Codd but no algorithm applies", q)
+			}
+		case classify.Open:
+			if uniformOK || coddOK {
+				t.Errorf("%v: classified open but an FP algorithm applies", q)
+			}
+		case classify.SharpPComplete, classify.SharpPHard:
+			if uniformOK || coddOK {
+				t.Errorf("%v: classified hard for uniform Codd but an FP algorithm applies", q)
+			}
+		}
+	}
+}
+
+// TestEnumerationShape sanity-checks the query enumerator itself.
+func TestEnumerationShape(t *testing.T) {
+	qs := enumerateSJFQueries(2, 2, 2)
+	seen := make(map[string]bool)
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid query %v: %v", q, err)
+		}
+		if !q.SelfJoinFree() {
+			t.Fatalf("non-sjf query %v", q)
+		}
+		if seen[q.String()] {
+			t.Fatalf("duplicate query %v", q)
+		}
+		seen[q.String()] = true
+	}
+	// 1 atom: arity 1 -> 1 (R0(x0)); arity 2 -> 2 (x0,x0 / x0,x1).
+	// Plus two-atom combinations on top of each.
+	if len(qs) < 10 {
+		t.Fatalf("only %d queries enumerated", len(qs))
+	}
+}

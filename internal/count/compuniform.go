@@ -1,0 +1,416 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"github.com/incompletedb/incompletedb/internal/combinat"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// compBlock is a group of interchangeable nulls occurring in exactly the
+// relations of mask.
+type compBlock struct {
+	mask uint32
+	n    int
+}
+
+// compClass is a profile class: values of base type base whose final type is
+// upgraded to final (⊋ base), together with the minimal block covers of
+// final∖base.
+type compClass struct {
+	base   uint32
+	final  uint32
+	cB     int
+	covers [][]int // minimal covers as 0/1 usage vectors over blocks
+}
+
+// CompletionsUniform implements the tractable side of Theorem 4.6 (proved
+// in Appendix B.6 of the paper): #Compu(q)(D) for a uniform incomplete
+// database D over a unary schema and an sjfBCQ q having neither R(x,x) nor
+// R(x,y) as a pattern — i.e. all atoms unary, so q is a conjunction of
+// basic singletons.
+//
+// A completion over a unary schema is exactly a function f assigning to
+// every domain value a the set f(a) ⊇ base(a) of relations containing it,
+// where base(a) is the set of relations holding a as a constant. The
+// algorithm counts the realizable f grouped by profile: for every base type
+// B and final type T ⊋ B it chooses how many values of base B end with
+// final type T (a multinomial weight), subject to
+//
+//   - feasibility: every upgraded value needs a set of null blocks covering
+//     T∖B within T, respecting per-block capacities, and every block with
+//     nulls needs a landing value (the "dump" condition — items (1)–(3) of
+//     Lemma B.19 of the paper);
+//   - satisfaction: every basic singleton of q has a witness value.
+//
+// Nontrivial class counts are bounded by the number of nulls, so the
+// enumeration is polynomial in the data for a fixed schema — matching the
+// paper's bound (and like the paper's algorithm, exponential in the
+// schema). The tests validate it exhaustively against brute force.
+func CompletionsUniform(db *core.Database, q *cq.BCQ) (*big.Int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("count: query %v is not self-join-free", q)
+	}
+	if !cq.AllAtomsUnary(q) {
+		return nil, fmt.Errorf("count: query %v has a non-unary atom (pattern R(x,x) or R(x,y)); Theorem 4.6's algorithm does not apply", q)
+	}
+	if !db.Uniform() {
+		return nil, fmt.Errorf("count: database is not uniform")
+	}
+	for _, r := range db.Relations() {
+		if db.Arity(r) != 1 {
+			return nil, fmt.Errorf("count: relation %s has arity %d; Theorem 4.6 requires a unary schema", r, db.Arity(r))
+		}
+	}
+
+	// Schema: relations of the database and of the query.
+	relSet := make(map[string]bool)
+	for _, r := range db.Relations() {
+		relSet[r] = true
+	}
+	for _, r := range q.Relations() {
+		relSet[r] = true
+	}
+	var sigma []string
+	for r := range relSet {
+		sigma = append(sigma, r)
+	}
+	sort.Strings(sigma)
+	if len(sigma) > 16 {
+		return nil, fmt.Errorf("count: schema with %d relations exceeds the supported bound", len(sigma))
+	}
+	relBit := make(map[string]uint32, len(sigma))
+	for i, r := range sigma {
+		relBit[r] = 1 << uint(i)
+	}
+
+	// Components of q: atoms grouped by variable.
+	compByVar := make(map[string]uint32)
+	var compOrder []string
+	for _, a := range q.Atoms {
+		v := a.Vars[0]
+		if _, ok := compByVar[v]; !ok {
+			compOrder = append(compOrder, v)
+		}
+		compByVar[v] |= relBit[a.Rel]
+	}
+	var comps []uint32
+	for _, v := range compOrder {
+		comps = append(comps, compByVar[v])
+	}
+	// A component over an empty relation can never be witnessed.
+	for _, a := range q.Atoms {
+		if len(db.FactsOf(a.Rel)) == 0 {
+			return big.NewInt(0), nil
+		}
+	}
+
+	dom := db.UniformDomain()
+	d := len(dom)
+	domSet := make(map[string]bool, d)
+	for _, c := range dom {
+		domSet[c] = true
+	}
+
+	// Constant base types, split by domain membership. Out-of-domain
+	// constants contribute fixed facts to every completion: they may
+	// witness components but play no other role (removing them is a
+	// completion-count bijection, cf. warm-up example 2 of Appendix B.6).
+	constType := make(map[string]uint32)
+	for _, f := range db.Facts() {
+		if arg := f.Args[0]; !arg.IsNull() {
+			constType[arg.Constant()] |= relBit[f.Rel]
+		}
+	}
+	baseCount := make(map[uint32]int)
+	inDomConsts := 0
+	fixedSat := make([]bool, len(comps))
+	for cst, tp := range constType {
+		if domSet[cst] {
+			baseCount[tp]++
+			inDomConsts++
+		}
+		for i, cm := range comps {
+			if tp&cm == cm {
+				// Every completion keeps this constant in all relations of
+				// the component (final type ⊇ base type).
+				fixedSat[i] = true
+			}
+		}
+	}
+	if rest := d - inDomConsts; rest > 0 {
+		baseCount[0] += rest
+	}
+
+	// Null blocks.
+	nullBlock := make(map[core.NullID]uint32)
+	for _, f := range db.Facts() {
+		if arg := f.Args[0]; arg.IsNull() {
+			nullBlock[arg.NullID()] |= relBit[f.Rel]
+		}
+	}
+	totalNulls := len(nullBlock)
+	blockCount := make(map[uint32]int)
+	unionBlocks := uint32(0)
+	for _, b := range nullBlock {
+		blockCount[b]++
+		unionBlocks |= b
+	}
+	var blocks []compBlock
+	for mask, n := range blockCount {
+		blocks = append(blocks, compBlock{mask, n})
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].mask < blocks[j].mask })
+
+	// staticDumpBase[i]: some base group can absorb extra nulls of block i
+	// regardless of the profile (block ⊆ base ⊆ final type).
+	staticDumpBase := make([]bool, len(blocks))
+	for i, b := range blocks {
+		for bm, cnt := range baseCount {
+			if cnt > 0 && b.mask&^bm == 0 {
+				staticDumpBase[i] = true
+				break
+			}
+		}
+	}
+
+	// Candidate classes: (B, T) with T = B ∪ x for a nonempty x ⊆
+	// unionBlocks∖B whose cover by blocks within T exists.
+	var classes []compClass
+	var baseMasks []uint32
+	for bm := range baseCount {
+		baseMasks = append(baseMasks, bm)
+	}
+	sort.Slice(baseMasks, func(i, j int) bool { return baseMasks[i] < baseMasks[j] })
+	for _, bm := range baseMasks {
+		cB := baseCount[bm]
+		if cB == 0 {
+			continue
+		}
+		free := unionBlocks &^ bm
+		for x := free; x > 0; x = (x - 1) & free {
+			t := bm | x
+			covers := minimalCovers(blocks, t, x)
+			if len(covers) > 0 {
+				classes = append(classes, compClass{base: bm, final: t, cB: cB, covers: covers})
+			}
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].base != classes[j].base {
+			return classes[i].base < classes[j].base
+		}
+		return classes[i].final < classes[j].final
+	})
+
+	// Enumerate profiles: counts k ≥ 0 per class, Σ over a base group
+	// ≤ c_B, total Σ ≤ totalNulls (each upgraded value consumes ≥ 1 null).
+	result := big.NewInt(0)
+	ks := make([]int, len(classes))
+	groupUsed := make(map[uint32]int)
+	var enumerate func(i, nullBudget int)
+	enumerate = func(i, nullBudget int) {
+		if i == len(classes) {
+			if !profileSatisfies(comps, fixedSat, baseCount, classes, ks) {
+				return
+			}
+			if !profileFeasible(blocks, staticDumpBase, classes, ks) {
+				return
+			}
+			result.Add(result, profileWeight(classes, ks, baseCount))
+			return
+		}
+		c := classes[i]
+		maxK := nullBudget
+		if rem := c.cB - groupUsed[c.base]; rem < maxK {
+			maxK = rem
+		}
+		for k := 0; k <= maxK; k++ {
+			ks[i] = k
+			groupUsed[c.base] += k
+			enumerate(i+1, nullBudget-k)
+			groupUsed[c.base] -= k
+		}
+		ks[i] = 0
+	}
+	enumerate(0, totalNulls)
+	return result, nil
+}
+
+// minimalCovers returns the inclusion-minimal subsets of blocks that fit
+// inside t (block mask ⊆ t) and jointly cover x, as 0/1 usage vectors.
+func minimalCovers(blocks []compBlock, t, x uint32) [][]int {
+	var usable []int
+	for i, b := range blocks {
+		if b.mask&^t == 0 && b.n > 0 {
+			usable = append(usable, i)
+		}
+	}
+	var covers [][]int
+	for sub := 1; sub < 1<<uint(len(usable)); sub++ {
+		u := uint32(0)
+		for j := range usable {
+			if sub&(1<<uint(j)) != 0 {
+				u |= blocks[usable[j]].mask
+			}
+		}
+		if u&x != x {
+			continue
+		}
+		minimal := true
+		for j := range usable {
+			if sub&(1<<uint(j)) == 0 {
+				continue
+			}
+			rest := uint32(0)
+			for j2 := range usable {
+				if j2 != j && sub&(1<<uint(j2)) != 0 {
+					rest |= blocks[usable[j2]].mask
+				}
+			}
+			if rest&x == x {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		use := make([]int, len(blocks))
+		for j := range usable {
+			if sub&(1<<uint(j)) != 0 {
+				use[usable[j]] = 1
+			}
+		}
+		covers = append(covers, use)
+	}
+	return covers
+}
+
+// profileWeight returns Π_B multinomial(c_B; class counts over base B).
+func profileWeight(classes []compClass, ks []int, baseCount map[uint32]int) *big.Int {
+	perBase := make(map[uint32][]int)
+	for i, c := range classes {
+		if ks[i] > 0 {
+			perBase[c.base] = append(perBase[c.base], ks[i])
+		}
+	}
+	w := big.NewInt(1)
+	for bm, parts := range perBase {
+		w.Mul(w, combinat.Multinomial(baseCount[bm], parts...))
+	}
+	return w
+}
+
+// profileSatisfies checks that every component of q is witnessed: by a
+// fixed constant, by a base group (values keep their base inside their
+// final type), or by an upgraded class.
+func profileSatisfies(comps []uint32, fixedSat []bool, baseCount map[uint32]int, classes []compClass, ks []int) bool {
+	for ci, cm := range comps {
+		if fixedSat[ci] {
+			continue
+		}
+		ok := false
+		for bm, cnt := range baseCount {
+			if cnt > 0 && cm&^bm == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			for i, c := range classes {
+				if ks[i] > 0 && cm&^c.final == 0 {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// profileFeasible decides whether the profile is realizable by some
+// valuation: every upgraded value receives a minimal cover within block
+// capacities, and every block with nulls has a landing value.
+func profileFeasible(blocks []compBlock, staticDumpBase []bool, classes []compClass, ks []int) bool {
+	for i, b := range blocks {
+		if b.n == 0 || staticDumpBase[i] {
+			continue
+		}
+		ok := false
+		for j, c := range classes {
+			if ks[j] > 0 && b.mask&^c.final == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	capLeft := make([]int, len(blocks))
+	for i, b := range blocks {
+		capLeft[i] = b.n
+	}
+	var active []int
+	for i := range classes {
+		if ks[i] > 0 {
+			active = append(active, i)
+		}
+	}
+	var assign func(ai int) bool
+	assign = func(ai int) bool {
+		if ai == len(active) {
+			return true
+		}
+		c := classes[active[ai]]
+		k := ks[active[ai]]
+		var rec func(cov, rem int) bool
+		rec = func(cov, rem int) bool {
+			if rem == 0 {
+				return assign(ai + 1)
+			}
+			if cov == len(c.covers) {
+				return false
+			}
+			maxC := rem
+			for bi, u := range c.covers[cov] {
+				if u == 1 && capLeft[bi] < maxC {
+					maxC = capLeft[bi]
+				}
+			}
+			for cnt := maxC; cnt >= 0; cnt-- {
+				for bi, u := range c.covers[cov] {
+					if u == 1 {
+						capLeft[bi] -= cnt
+					}
+				}
+				if rec(cov+1, rem-cnt) {
+					for bi, u := range c.covers[cov] {
+						if u == 1 {
+							capLeft[bi] += cnt
+						}
+					}
+					return true
+				}
+				for bi, u := range c.covers[cov] {
+					if u == 1 {
+						capLeft[bi] += cnt
+					}
+				}
+			}
+			return false
+		}
+		return rec(0, k)
+	}
+	return assign(0)
+}

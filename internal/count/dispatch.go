@@ -1,0 +1,97 @@
+package count
+
+import (
+	"math/big"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/cylinder"
+)
+
+// Method identifies which algorithm produced a count.
+type Method string
+
+// The available counting methods.
+const (
+	MethodSingleOccurrence Method = "exact/theorem-3.6"
+	MethodCodd             Method = "exact/theorem-3.7"
+	MethodUniformVal       Method = "exact/theorem-3.9"
+	MethodUniformComp      Method = "exact/theorem-4.6"
+	MethodCylinderIE       Method = "exact/cylinder-inclusion-exclusion"
+	MethodBruteForce       Method = "brute-force"
+)
+
+// maxCylindersForIE bounds the inclusion–exclusion fallback: 2^m subset
+// enumerations.
+const maxCylindersForIE = 18
+
+// CountValuations computes #Val(q)(db), choosing the fastest applicable
+// algorithm: one of the paper's polynomial-time algorithms when the query
+// avoids the corresponding hard patterns (Theorems 3.6, 3.7 and 3.9);
+// inclusion–exclusion over match cylinders when the query is a (union of)
+// BCQ(s) with few cylinders — exact even when the valuation space is
+// astronomically large; and guarded brute-force enumeration otherwise.
+func CountValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, Method, error) {
+	// Negations count by complement: #Val(¬q) = total − #Val(q), so ¬q is
+	// exactly as easy as q (valuations partition, unlike completions).
+	if neg, ok := q.(*cq.Negation); ok {
+		inner, m, err := CountValuations(db, neg.Inner, opts)
+		if err != nil {
+			return nil, m, err
+		}
+		total, err := db.NumValuations()
+		if err != nil {
+			return nil, m, err
+		}
+		return total.Sub(total, inner), Method("complement of " + string(m)), nil
+	}
+	if b, ok := q.(*cq.BCQ); ok && b.SelfJoinFree() && b.Validate() == nil {
+		if cq.AllVariablesOccurOnce(b) {
+			n, err := ValuationsSingleOccurrence(db, b)
+			return n, MethodSingleOccurrence, err
+		}
+		if db.IsCodd() && !cq.HasSharedVarAtoms(b) {
+			n, err := ValuationsCodd(db, b)
+			return n, MethodCodd, err
+		}
+		if db.Uniform() && !cq.HasRepeatedVarAtom(b) && !cq.HasPathPattern(b) && !cq.HasDoublySharedPair(b) {
+			n, err := ValuationsUniform(db, b)
+			return n, MethodUniformVal, err
+		}
+	}
+	switch q.(type) {
+	case *cq.BCQ, *cq.UCQ:
+		if set, err := cylinder.Build(db, q); err == nil && len(set.Cylinders) <= maxCylindersForIE {
+			n, err := set.UnionCount()
+			if err == nil {
+				return n, MethodCylinderIE, nil
+			}
+		}
+	}
+	n, err := BruteForceValuations(db, q, opts)
+	return n, MethodBruteForce, err
+}
+
+// CountCompletions computes #Comp(q)(db), using the polynomial algorithm of
+// Theorem 4.6 when the database is uniform over a unary schema and the
+// query avoids R(x,x) and R(x,y), and guarded brute-force enumeration with
+// completion deduplication otherwise.
+func CountCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, Method, error) {
+	if b, ok := q.(*cq.BCQ); ok && b.SelfJoinFree() && b.Validate() == nil {
+		if db.Uniform() && cq.AllAtomsUnary(b) && allRelationsUnary(db) {
+			n, err := CompletionsUniform(db, b)
+			return n, MethodUniformComp, err
+		}
+	}
+	n, err := BruteForceCompletions(db, q, opts)
+	return n, MethodBruteForce, err
+}
+
+func allRelationsUnary(db *core.Database) bool {
+	for _, r := range db.Relations() {
+		if db.Arity(r) != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+func TestDispatchPicksExactMethods(t *testing.T) {
+	u := core.NewUniformDatabase([]string{"a", "b"})
+	u.MustAddFact("R", core.Null(1))
+	u.MustAddFact("S", core.Null(2))
+
+	_, m, err := CountValuations(u, cq.MustParseBCQ("R(x) ∧ S(y)"), nil)
+	if err != nil || m != MethodSingleOccurrence {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	_, m, err = CountValuations(u, cq.MustParseBCQ("R(x) ∧ S(x)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The database is Codd, so the Codd algorithm has priority... but
+	// R(x)∧S(x) shares a variable, so the uniform algorithm must fire.
+	if m != MethodUniformVal {
+		t.Fatalf("method %s", m)
+	}
+	_, m, err = CountCompletions(u, cq.MustParseBCQ("R(x) ∧ S(x)"), nil)
+	if err != nil || m != MethodUniformComp {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+
+	nu := core.NewDatabase()
+	nu.MustAddFact("R", core.Null(1), core.Null(2))
+	nu.SetDomain(1, []string{"a"})
+	nu.SetDomain(2, []string{"a", "b"})
+	_, m, err = CountValuations(nu, cq.MustParseBCQ("R(x, x)"), nil)
+	if err != nil || m != MethodCodd {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	_, m, err = CountCompletions(nu, cq.MustParseBCQ("R(x, x)"), nil)
+	if err != nil || m != MethodBruteForce {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+}
+
+func TestDispatchCylinderFallback(t *testing.T) {
+	// Hard pattern on a naïve non-uniform table with a single fact: the
+	// cylinder inclusion–exclusion fallback fires before brute force.
+	db := core.NewDatabase()
+	db.MustAddFact("R", core.Null(1), core.Null(1))
+	db.SetDomain(1, []string{"a", "b"})
+	n, m, err := CountValuations(db, cq.MustParseBCQ("R(x, x)"), nil)
+	if err != nil || m != MethodCylinderIE {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	if n.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("count %v", n)
+	}
+	// Negations count by complement of the inner method.
+	nc, m, err := CountValuations(db, cq.MustParse("!R(x, x)"), nil)
+	if err != nil || m != Method("complement of "+string(MethodCylinderIE)) {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	if nc.Cmp(big.NewInt(0)) != 0 {
+		t.Fatalf("¬R(x,x) count %v, want 0", nc)
+	}
+	// Genuinely foreign queries use brute force.
+	_, m, err = CountValuations(db, &cq.Func{Name: "f", F: func(*core.Instance) bool { return true }}, nil)
+	if err != nil || m != MethodBruteForce {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+}
+
+// TestDispatchNegationComplementAtScale: ¬q is countable exactly even when
+// the valuation space is beyond brute force, as long as q is.
+func TestDispatchNegationComplementAtScale(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"0", "1", "2"})
+	for i := 1; i <= 30; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)))
+		db.MustAddFact("S", core.Null(core.NullID(30+i)))
+	}
+	neg := &cq.Negation{Inner: cq.MustParseBCQ("R(x) ∧ S(x)")}
+	n, m, err := CountValuations(db, neg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Method("complement of "+string(MethodUniformVal)) {
+		t.Fatalf("method %s", m)
+	}
+	pos, _, err := CountValuations(db, neg.Inner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := db.NumValuations()
+	if new(big.Int).Add(n, pos).Cmp(total) != 0 {
+		t.Fatal("complement identity violated")
+	}
+}
+
+func TestDispatchFallsBackToBruteOnManyCylinders(t *testing.T) {
+	// 20 R-facts -> 20 cylinders for R(x,x): above the IE bound, so brute
+	// force fires (the valuation space stays small).
+	db := core.NewDatabase()
+	for i := 1; i <= 20; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)), core.Null(core.NullID(i)))
+		db.SetDomain(core.NullID(i), []string{"a"})
+	}
+	_, m, err := CountValuations(db, cq.MustParseBCQ("R(x, x)"), nil)
+	if err != nil || m != MethodBruteForce {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+}
+
+func TestDispatchCylinderBeyondBruteForce(t *testing.T) {
+	// A self-join (non-sjf) query on a naïve table whose valuation space
+	// exceeds the brute-force guard: only the cylinder route can count it.
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for i := 1; i <= 40; i++ {
+		db.MustAddFact("F", core.Null(core.NullID(i)))
+	}
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	q := cq.MustParseBCQ("R(x, x)")
+	n, m, err := CountValuations(db, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodCylinderIE {
+		t.Fatalf("method %s", m)
+	}
+	// Satisfying: ν(?1)=ν(?2) (2 ways) times 2^38 for the other nulls.
+	want := new(big.Int).Lsh(big.NewInt(2), 38)
+	if n.Cmp(want) != 0 {
+		t.Fatalf("count %v, want %v", n, want)
+	}
+	// A UCQ also routes through the cylinder counter.
+	u := cq.MustParse("R(x, x) | R(y, z)").(*cq.UCQ)
+	_, m, err = CountValuations(db, u, nil)
+	if err != nil || m != MethodCylinderIE {
+		t.Fatalf("UCQ method %s, err %v", m, err)
+	}
+}
+
+// TestDispatchAgreement runs the dispatcher against brute force on random
+// databases and a catalog of queries spanning all methods.
+func TestDispatchAgreement(t *testing.T) {
+	queries := []string{
+		"R(x) ∧ S(y)",
+		"R(x) ∧ S(x)",
+		"R(x, x)",
+		"R(x, y) ∧ S(y)",
+	}
+	for _, qs := range queries {
+		q := cq.MustParseBCQ(qs)
+		schema := map[string]int{}
+		for _, a := range q.Atoms {
+			schema[a.Rel] = len(a.Vars)
+		}
+		for seed := int64(100); seed < 115; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			db := randomUniformDB(r, schema, 2, 3, 3)
+			wantV, err := BruteForceValuations(db, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, _, err := CountValuations(db, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqual(t, gotV, wantV, fmt.Sprintf("valuations %s seed %d", qs, seed))
+
+			wantC, err := BruteForceCompletions(db, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotC, _, err := CountCompletions(db, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqual(t, gotC, wantC, fmt.Sprintf("completions %s seed %d", qs, seed))
+		}
+	}
+}
+
+// TestCompLeqVal: for every database and query, #Comp ≤ #Val ≤ total
+// valuations.
+func TestCompLeqVal(t *testing.T) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, map[string]int{"R": 1, "S": 1}, 3, 3, 3)
+		v, _, err := CountValuations(db, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := CountCompletions(db, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := db.NumValuations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cmp(v) > 0 || v.Cmp(total) > 0 {
+			t.Fatalf("seed %d: #Comp=%v #Val=%v total=%v", seed, c, v, total)
+		}
+	}
+}

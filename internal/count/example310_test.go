@@ -1,0 +1,155 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/combinat"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// example310ClosedForm implements the paper's explicit formula from
+// Example 3.10 for #Valu(R(x) ∧ S(x)) over a uniform Codd table with
+// disjoint constant sets C_R, C_S ⊆ dom:
+//
+//	unsat = Σ_{0≤m'≤m} Σ_{0≤r'≤c_R} C(m,m')·C(c_R,r')·surj(n_R → m'+r')·(d−c_R−m')^{n_S}
+//
+// where m = d − c_R − c_S, and #Valu = d^{n_R+n_S} − unsat.
+func example310ClosedForm(d, nR, nS, cR, cS int) *big.Int {
+	m := d - cR - cS
+	unsat := big.NewInt(0)
+	for mp := 0; mp <= m; mp++ {
+		for rp := 0; rp <= cR; rp++ {
+			term := new(big.Int).Mul(combinat.Binomial(m, mp), combinat.Binomial(cR, rp))
+			term.Mul(term, combinat.Surjections(nR, mp+rp))
+			term.Mul(term, combinat.PowInt(int64(d-cR-mp), nS))
+			unsat.Add(unsat, term)
+		}
+	}
+	total := combinat.PowInt(int64(d), nR+nS)
+	return total.Sub(total, unsat)
+}
+
+// TestExample310ClosedForm validates ValuationsUniform and brute force
+// against the paper's formula across a parameter sweep.
+func TestExample310ClosedForm(t *testing.T) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	universe := []string{"u0", "u1", "u2", "u3", "u4", "u5"}
+	for d := 2; d <= 5; d++ {
+		for cR := 0; cR <= 2; cR++ {
+			for cS := 0; cS <= 2; cS++ {
+				if cR+cS > d {
+					continue
+				}
+				for nR := 1; nR <= 3; nR++ {
+					for nS := 1; nS <= 3; nS++ {
+						dom := universe[:d]
+						db := core.NewUniformDatabase(dom)
+						next := core.NullID(1)
+						for i := 0; i < nR; i++ {
+							db.MustAddFact("R", core.Null(next))
+							next++
+						}
+						for i := 0; i < nS; i++ {
+							db.MustAddFact("S", core.Null(next))
+							next++
+						}
+						// Disjoint constants: C_R from the front of dom,
+						// C_S from the back.
+						for i := 0; i < cR; i++ {
+							db.MustAddFact("R", core.Const(dom[i]))
+						}
+						for i := 0; i < cS; i++ {
+							db.MustAddFact("S", core.Const(dom[d-1-i]))
+						}
+						want := example310ClosedForm(d, nR, nS, cR, cS)
+						got, err := ValuationsUniform(db, q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := fmt.Sprintf("d=%d nR=%d nS=%d cR=%d cS=%d", d, nR, nS, cR, cS)
+						if got.Cmp(want) != 0 {
+							t.Fatalf("%s: algorithm %v vs closed form %v", label, got, want)
+						}
+						if nR+nS <= 5 {
+							brute, err := BruteForceValuations(db, q, nil)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if brute.Cmp(want) != 0 {
+								t.Fatalf("%s: brute %v vs closed form %v", label, brute, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestValUniformThreeComponents stresses the inclusion–exclusion over
+// components with three basic singletons and shared nulls.
+func TestValUniformThreeComponents(t *testing.T) {
+	q := cq.MustParseBCQ("A(x) ∧ B(x) ∧ C(y) ∧ D(y) ∧ E(z) ∧ F(z)")
+	schema := map[string]int{"A": 1, "B": 1, "C": 1, "D": 1, "E": 1, "F": 1}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, schema, 2, 3, 2)
+		want, err := BruteForceValuations(db, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ValuationsUniform(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ndb:\n%s", seed, err, db)
+		}
+		mustEqual(t, got, want, fmt.Sprintf("seed %d db:\n%s", seed, db))
+	}
+}
+
+// TestValUniformMixedArity stresses binary atoms whose extra columns are
+// projected away (Lemma A.12), with nulls shared between kept and dropped
+// columns.
+func TestValUniformMixedArity(t *testing.T) {
+	q := cq.MustParseBCQ("R(x, y) ∧ S(y, z) ∧ T(w)")
+	// Patterns: y occurs in R and S (shared); x, z, w single-occurrence.
+	// No R(x,x), no path (only R,S share, T isolated... R-S share y only),
+	// no doubly-shared pair. Eligible for Theorem 3.9.
+	schema := map[string]int{"R": 2, "S": 2, "T": 1}
+	for seed := int64(50); seed < 70; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, schema, 2, 3, 3)
+		want, err := BruteForceValuations(db, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ValuationsUniform(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ndb:\n%s", seed, err, db)
+		}
+		mustEqual(t, got, want, fmt.Sprintf("seed %d db:\n%s", seed, db))
+	}
+}
+
+// TestCompUniformThreeRelationsNaive stresses the Theorem 4.6 algorithm
+// with three relations and heavy null sharing (blocks spanning all subsets).
+func TestCompUniformThreeRelationsNaive(t *testing.T) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x) ∧ T(y)")
+	schema := map[string]int{"R": 1, "S": 1, "T": 1}
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, schema, 2, 4, 3)
+		want, err := BruteForceCompletions(db, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompletionsUniform(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ndb:\n%s", seed, err, db)
+		}
+		mustEqual(t, got, want, fmt.Sprintf("seed %d db:\n%s", seed, db))
+	}
+}

@@ -1,0 +1,115 @@
+package count
+
+import (
+	"fmt"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+)
+
+// This file implements Lemma B.2 of the paper: deciding in polynomial time
+// whether a given complete database is a completion of a Codd table, via
+// maximum bipartite matching. This is the core of the proof that
+// #CompCd(q) ∈ #P (Proposition B.1 / Theorem 4.4): a counting machine can
+// guess a candidate set of ground facts and verify it is a completion.
+
+// IsCompletionOf reports whether inst = ν(db) for some valuation ν of the
+// Codd table db. It implements the matching argument of Lemma B.2:
+//
+//  1. every fact of db must be instantiable to SOME fact of inst (otherwise
+//     ν(db) ⊄ inst for every ν), and
+//  2. a maximum matching between db's facts and inst's facts (edges =
+//     "this valuation of the fact's nulls produces that ground fact") must
+//     cover all of inst — unmatched db-facts can then be absorbed by
+//     facts already produced.
+//
+// It returns an error if db is not a Codd table (the lemma's hypothesis)
+// or has a null without a domain.
+func IsCompletionOf(db *core.Database, inst *core.Instance) (bool, error) {
+	if !db.IsCodd() {
+		return false, fmt.Errorf("count: IsCompletionOf requires a Codd table")
+	}
+	if err := db.Validate(); err != nil {
+		return false, err
+	}
+	// Collect inst's facts as (rel, tuple) in a stable order.
+	type ground struct {
+		rel string
+		t   []string
+	}
+	var gs []ground
+	for _, rel := range inst.Relations() {
+		for _, t := range inst.Tuples(rel) {
+			gs = append(gs, ground{rel, t})
+		}
+	}
+	// The completion cannot contain facts over relations absent from db,
+	// nor with mismatched arity.
+	for _, g := range gs {
+		if db.Arity(g.rel) != len(g.t) {
+			return false, nil
+		}
+	}
+	facts := db.Facts()
+	// compatible[i] lists the inst-facts that fact i can instantiate to.
+	compatible := make([][]int, len(facts))
+	for i, f := range facts {
+		for j, g := range gs {
+			if factCanProduce(db, f, g.rel, g.t) {
+				compatible[i] = append(compatible[i], j)
+			}
+		}
+		// Condition (⋆) of the lemma: a db-fact with no possible image
+		// makes every ν(db) ⊄ inst.
+		if len(compatible[i]) == 0 {
+			return false, nil
+		}
+	}
+	// Maximum bipartite matching (Kuhn's algorithm) between db-facts and
+	// inst-facts; inst is a completion iff the matching covers all of inst.
+	matchOfGround := make([]int, len(gs))
+	for i := range matchOfGround {
+		matchOfGround[i] = -1
+	}
+	var try func(i int, seen []bool) bool
+	try = func(i int, seen []bool) bool {
+		for _, j := range compatible[i] {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchOfGround[j] < 0 || try(matchOfGround[j], seen) {
+				matchOfGround[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for i := range facts {
+		seen := make([]bool, len(gs))
+		if try(i, seen) {
+			size++
+		}
+	}
+	return size == len(gs), nil
+}
+
+// factCanProduce reports whether some valuation of fact f's nulls yields
+// the ground fact rel(t).
+func factCanProduce(db *core.Database, f core.Fact, rel string, t []string) bool {
+	if f.Rel != rel || len(f.Args) != len(t) {
+		return false
+	}
+	// Codd tables have distinct nulls per fact, so positions constrain
+	// independently.
+	for p, a := range f.Args {
+		if a.IsNull() {
+			if !domainContains(db.Domain(a.NullID()), t[p]) {
+				return false
+			}
+		} else if a.Constant() != t[p] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package count
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+)
+
+func TestIsCompletionOfBasic(t *testing.T) {
+	// D = {R(?1), R(a)}, dom(?1) = {a, b}.
+	db := core.NewDatabase()
+	db.MustAddFact("R", core.Null(1))
+	db.MustAddFact("R", core.Const("a"))
+	db.SetDomain(1, []string{"a", "b"})
+
+	yes := core.NewInstance()
+	yes.Add("R", "a")
+	ok, err := IsCompletionOf(db, yes)
+	if err != nil || !ok {
+		t.Fatalf("{R(a)} should be a completion (ν(?1)=a): %v %v", ok, err)
+	}
+	yes2 := core.NewInstance()
+	yes2.Add("R", "a")
+	yes2.Add("R", "b")
+	ok, err = IsCompletionOf(db, yes2)
+	if err != nil || !ok {
+		t.Fatalf("{R(a),R(b)} should be a completion: %v %v", ok, err)
+	}
+	no := core.NewInstance()
+	no.Add("R", "b") // misses the mandatory R(a)
+	ok, err = IsCompletionOf(db, no)
+	if err != nil || ok {
+		t.Fatalf("{R(b)} should not be a completion: %v %v", ok, err)
+	}
+	no2 := core.NewInstance()
+	no2.Add("R", "a")
+	no2.Add("R", "c") // c outside dom(?1)
+	ok, err = IsCompletionOf(db, no2)
+	if err != nil || ok {
+		t.Fatalf("{R(a),R(c)} should not be a completion: %v %v", ok, err)
+	}
+	no3 := core.NewInstance()
+	no3.Add("S", "a") // wrong relation
+	ok, err = IsCompletionOf(db, no3)
+	if err != nil || ok {
+		t.Fatalf("{S(a)} should not be a completion: %v %v", ok, err)
+	}
+}
+
+func TestIsCompletionOfMatchingPigeonhole(t *testing.T) {
+	// Two nulls over {a, b}: the instance {R(a), R(b)} needs BOTH nulls,
+	// one per value; {R(a)} also works (both map to a). But with three
+	// distinct target values and two nulls, no valuation exists.
+	db := core.NewDatabase()
+	db.MustAddFact("R", core.Null(1))
+	db.MustAddFact("R", core.Null(2))
+	db.SetDomain(1, []string{"a", "b", "c"})
+	db.SetDomain(2, []string{"a", "b", "c"})
+
+	three := core.NewInstance()
+	three.Add("R", "a")
+	three.Add("R", "b")
+	three.Add("R", "c")
+	ok, err := IsCompletionOf(db, three)
+	if err != nil || ok {
+		t.Fatalf("three values from two nulls: %v %v", ok, err)
+	}
+}
+
+func TestIsCompletionOfRequiresCodd(t *testing.T) {
+	db := core.NewDatabase()
+	db.MustAddFact("R", core.Null(1), core.Null(1))
+	db.SetDomain(1, []string{"a"})
+	if _, err := IsCompletionOf(db, core.NewInstance()); err == nil {
+		t.Fatal("naïve table accepted")
+	}
+	missing := core.NewDatabase()
+	missing.MustAddFact("R", core.Null(1))
+	if _, err := IsCompletionOf(missing, core.NewInstance()); err == nil {
+		t.Fatal("missing domain accepted")
+	}
+}
+
+// TestIsCompletionOfAgainstEnumeration is the key validation: on random
+// Codd tables, the matching-based decision agrees with explicit completion
+// enumeration, for both actual completions and perturbed non-completions.
+func TestIsCompletionOfAgainstEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomCoddDB(r, map[string]int{"R": 2, "S": 1}, 3, 3)
+		comps, err := EnumerateCompletions(db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make(map[string]bool)
+		for _, c := range comps {
+			keys[c.CanonicalKey()] = true
+			ok, err := IsCompletionOf(db, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("seed %d: actual completion rejected:\n%s\nof\n%s", seed, c, db)
+			}
+		}
+		// Perturb each completion by adding a fresh fact; the result is a
+		// completion iff its canonical key already occurs.
+		for _, c := range comps {
+			mut := core.NewInstance()
+			for _, rel := range c.Relations() {
+				for _, tp := range c.Tuples(rel) {
+					mut.Add(rel, tp...)
+				}
+			}
+			mut.Add("S", fmt.Sprintf("alien%d", seed))
+			ok, err := IsCompletionOf(db, mut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != keys[mut.CanonicalKey()] {
+				t.Fatalf("seed %d: perturbed instance misjudged (%v):\n%s", seed, ok, mut)
+			}
+		}
+	}
+}
+
+// TestIsCompletionOfCountsCompletions: counting the subsets of the ground
+// universe accepted by IsCompletionOf equals the brute-force completion
+// count — exactly the counting machine of Proposition B.1.
+func TestIsCompletionOfCountsCompletions(t *testing.T) {
+	db := core.NewDatabase()
+	db.MustAddFact("R", core.Null(1))
+	db.MustAddFact("R", core.Null(2))
+	db.MustAddFact("R", core.Const("a"))
+	db.SetDomain(1, []string{"a", "b"})
+	db.SetDomain(2, []string{"b", "c"})
+	// Ground universe: R(a), R(b), R(c).
+	universe := []string{"a", "b", "c"}
+	accepted := 0
+	for mask := 0; mask < 1<<3; mask++ {
+		inst := core.NewInstance()
+		for i, v := range universe {
+			if mask&(1<<uint(i)) != 0 {
+				inst.Add("R", v)
+			}
+		}
+		ok, err := IsCompletionOf(db, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	want, err := BruteForceAllCompletions(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(accepted) != want.Int64() {
+		t.Fatalf("guess-and-check counted %d, brute force %v", accepted, want)
+	}
+}

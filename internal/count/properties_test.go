@@ -1,0 +1,261 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// Property-based tests of counting invariants that follow from the
+// semantics of Section 2 of the paper.
+
+// TestValMonotoneUnderFactAddition: BCQs are monotone, so adding a fact to
+// the table never decreases #Val.
+func TestValMonotoneUnderFactAddition(t *testing.T) {
+	q := cq.MustParseBCQ("R(x, y) ∧ S(y)")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, map[string]int{"R": 2, "S": 1}, 2, 3, 3)
+		before, err := BruteForceValuations(db, q, nil)
+		if err != nil {
+			return false
+		}
+		// Add one random fact (possibly with a fresh null ?3, whose domain
+		// is uniform, multiplying the total by |dom|).
+		db2 := db.Clone()
+		db2.MustAddFact("S", core.Null(3))
+		after, err := BruteForceValuations(db2, q, nil)
+		if err != nil {
+			return false
+		}
+		// Scale 'before' by the growth of the valuation space.
+		t1, _ := db.NumValuations()
+		t2, _ := db2.NumValuations()
+		scaled := new(big.Int).Mul(before, t2)
+		afterScaled := new(big.Int).Mul(after, t1)
+		return afterScaled.Cmp(scaled) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValMonotoneUnderDomainExtension: enlarging a null's domain never
+// decreases #Val for a monotone query (the old valuations persist).
+func TestValMonotoneUnderDomainExtension(t *testing.T) {
+	q := cq.MustParseBCQ("R(x, x)")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := core.NewDatabase()
+		db.MustAddFact("R", core.Null(1), core.Null(2))
+		db.MustAddFact("R", core.Null(3), core.Const("a"))
+		for i := core.NullID(1); i <= 3; i++ {
+			size := 1 + r.Intn(3)
+			dom := []string{"a", "b", "c", "d"}[:size]
+			db.SetDomain(i, dom)
+		}
+		before, err := BruteForceValuations(db, q, nil)
+		if err != nil {
+			return false
+		}
+		ext := db.Clone()
+		target := core.NullID(1 + r.Intn(3))
+		ext.SetDomain(target, append(append([]string(nil), db.Domain(target)...), "zzz"))
+		after, err := BruteForceValuations(ext, q, nil)
+		if err != nil {
+			return false
+		}
+		return after.Cmp(before) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountsInvariantUnderConstantRenaming: renaming constants with a
+// bijection (applied to facts and domains alike) preserves #Val and #Comp.
+func TestCountsInvariantUnderConstantRenaming(t *testing.T) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	rename := func(c string) string { return "renamed_" + c }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, map[string]int{"R": 1, "S": 1}, 3, 3, 3)
+		renamed := core.NewUniformDatabase(renameAll(db.UniformDomain(), rename))
+		for _, fact := range db.Facts() {
+			args := make([]core.Value, len(fact.Args))
+			for i, a := range fact.Args {
+				if a.IsNull() {
+					args[i] = a
+				} else {
+					args[i] = core.Const(rename(a.Constant()))
+				}
+			}
+			renamed.MustAddFact(fact.Rel, args...)
+		}
+		v1, err1 := BruteForceValuations(db, q, nil)
+		v2, err2 := BruteForceValuations(renamed, q, nil)
+		c1, err3 := BruteForceCompletions(db, q, nil)
+		c2, err4 := BruteForceCompletions(renamed, q, nil)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return v1.Cmp(v2) == 0 && c1.Cmp(c2) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func renameAll(xs []string, f func(string) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// TestUnionBounds: max(#Val(q1), #Val(q2)) ≤ #Val(q1 ∨ q2) ≤ #Val(q1) +
+// #Val(q2).
+func TestUnionBounds(t *testing.T) {
+	q1 := cq.MustParseBCQ("R(x, x)")
+	q2 := cq.MustParseBCQ("S(y)")
+	union := &cq.UCQ{Disjuncts: []*cq.BCQ{q1, q2}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, map[string]int{"R": 2, "S": 1}, 2, 3, 3)
+		v1, err1 := BruteForceValuations(db, q1, nil)
+		v2, err2 := BruteForceValuations(db, q2, nil)
+		vu, err3 := BruteForceValuations(db, union, nil)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		sum := new(big.Int).Add(v1, v2)
+		return vu.Cmp(v1) >= 0 && vu.Cmp(v2) >= 0 && vu.Cmp(sum) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegationComplement: #Val(q) + #Val(¬q) equals the total number of
+// valuations.
+func TestNegationComplement(t *testing.T) {
+	q := cq.MustParseBCQ("R(x, x)")
+	neg := &cq.Negation{Inner: q}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, map[string]int{"R": 2}, 3, 3, 3)
+		pos, err1 := BruteForceValuations(db, q, nil)
+		negN, err2 := BruteForceValuations(db, neg, nil)
+		total, err3 := db.NumValuations()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return new(big.Int).Add(pos, negN).Cmp(total) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoddCompletionsEqualValuationsWhenInjective: over a Codd table whose
+// null domains are pairwise disjoint and disjoint from the constants,
+// distinct valuations produce distinct completions, so #Comp = #Val for
+// every query.
+func TestCoddCompletionsEqualValuationsWhenInjective(t *testing.T) {
+	q := cq.MustParseBCQ("R(x)")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := core.NewDatabase()
+		n := 1 + r.Intn(4)
+		for i := 1; i <= n; i++ {
+			db.MustAddFact("R", core.Null(core.NullID(i)))
+			db.SetDomain(core.NullID(i), []string{
+				fmt.Sprintf("v%d_1", i), fmt.Sprintf("v%d_2", i),
+			})
+		}
+		val, err1 := BruteForceValuations(db, q, nil)
+		comp, err2 := BruteForceCompletions(db, q, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return val.Cmp(comp) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValUniformExtraRelation: nulls in relations outside sig(q) are free
+// multipliers for the uniform algorithm.
+func TestValUniformExtraRelation(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	db.MustAddFact("R", core.Null(1))
+	db.MustAddFact("S", core.Null(2))
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	base, err := ValuationsUniform(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustAddFact("Extra", core.Null(3))
+	ext, err := ValuationsUniform(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mul(base, big.NewInt(3))
+	if ext.Cmp(want) != 0 {
+		t.Fatalf("extra relation: %v, want %v", ext, want)
+	}
+	brute, err := BruteForceValuations(db, q, nil)
+	if err != nil || ext.Cmp(brute) != 0 {
+		t.Fatalf("vs brute: %v vs %v (%v)", ext, brute, err)
+	}
+}
+
+// TestCompUniformExtraRelation: a unary relation outside sig(q)
+// participates in completion identity; cross-check against brute force.
+func TestCompUniformExtraRelation(t *testing.T) {
+	q := cq.MustParseBCQ("R(x)")
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := core.NewUniformDatabase([]string{"a", "b"})
+		for _, rel := range []string{"R", "Other"} {
+			nf := 1 + r.Intn(2)
+			for i := 0; i < nf; i++ {
+				if r.Intn(2) == 0 {
+					db.MustAddFact(rel, core.Null(core.NullID(1+r.Intn(3))))
+				} else {
+					db.MustAddFact(rel, core.Const([]string{"a", "b"}[r.Intn(2)]))
+				}
+			}
+		}
+		want, err := BruteForceCompletions(db, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompletionsUniform(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqual(t, got, want, fmt.Sprintf("seed %d db:\n%s", seed, db))
+	}
+}
+
+// TestDuplicateTupleInvariance: adding an exact duplicate fact changes
+// nothing (set semantics at the table level).
+func TestDuplicateTupleInvariance(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a", "b"})
+	db.MustAddFact("R", core.Null(1), core.Const("a"))
+	q := cq.MustParseBCQ("R(x, x)")
+	before, _ := BruteForceValuations(db, q, nil)
+	db.MustAddFact("R", core.Null(1), core.Const("a")) // duplicate
+	after, _ := BruteForceValuations(db, q, nil)
+	if before.Cmp(after) != 0 {
+		t.Fatal("duplicate fact changed the count")
+	}
+}

@@ -1,0 +1,97 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// This file implements the certainty-refinement semantics the counting
+// problems support: the classical certain/possible decision problems, and
+// the relative-frequency measure µ_k(q, D) of Libkin's 0–1-law framework
+// discussed in Section 7 of the paper.
+
+// IsCertain reports whether q holds in EVERY completion of db (the problem
+// Certainty(q) for Boolean queries). It enumerates valuations with early
+// exit and is guarded like the brute-force counters; for the tractable
+// Table 1 cells, comparing CountValuations against the total is the
+// polynomial route.
+func IsCertain(db *core.Database, q cq.Query, opts *Options) (bool, error) {
+	if err := guardBrute(db, opts); err != nil {
+		return false, err
+	}
+	certain := true
+	err := db.ForEachValuation(func(v core.Valuation) bool {
+		if !q.Eval(db.Apply(v)) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	// A database with zero valuations (an empty domain) has no completion;
+	// by the usual convention every query is then (vacuously) certain.
+	return certain, nil
+}
+
+// IsPossible reports whether q holds in SOME completion of db, with early
+// exit.
+func IsPossible(db *core.Database, q cq.Query, opts *Options) (bool, error) {
+	if err := guardBrute(db, opts); err != nil {
+		return false, err
+	}
+	possible := false
+	err := db.ForEachValuation(func(v core.Valuation) bool {
+		if q.Eval(db.Apply(v)) {
+			possible = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return possible, nil
+}
+
+// MuK computes Libkin's relative frequency µ_k(q, T) (Section 7 of the
+// paper): the fraction of valuations over the uniform domain {1, …, k}
+// whose completion satisfies q. The domains attached to db are ignored —
+// only its naïve table T is used. For generic monotone queries, µ_k tends
+// to 0 or 1 as k → ∞ (Libkin's 0–1 law); the experiment suite demonstrates
+// both limits.
+//
+// MuK uses the exact counting dispatcher, so tractable queries avoid
+// enumeration entirely.
+func MuK(db *core.Database, q cq.Query, k int, opts *Options) (*big.Rat, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("count: µ_k needs k ≥ 1, got %d", k)
+	}
+	dom := make([]string, k)
+	for i := range dom {
+		dom[i] = strconv.Itoa(i + 1)
+	}
+	u := core.NewUniformDatabase(dom)
+	for _, f := range db.Facts() {
+		if err := u.AddFact(f.Rel, f.Args...); err != nil {
+			return nil, err
+		}
+	}
+	sat, _, err := CountValuations(u, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	total, err := u.NumValuations()
+	if err != nil {
+		return nil, err
+	}
+	if total.Sign() == 0 {
+		return nil, fmt.Errorf("count: µ_k undefined for a database without valuations")
+	}
+	return new(big.Rat).SetFrac(sat, total), nil
+}

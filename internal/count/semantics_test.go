@@ -1,0 +1,164 @@
+package count
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+func TestIsCertainAndPossible(t *testing.T) {
+	db := core.NewDatabase()
+	db.MustAddFact("S", core.Const("a"), core.Const("b"))
+	db.MustAddFact("S", core.Null(1), core.Const("a"))
+	db.SetDomain(1, []string{"a", "b"})
+
+	// S(x,y) holds in every completion.
+	cert, err := IsCertain(db, cq.MustParseBCQ("S(x, y)"), nil)
+	if err != nil || !cert {
+		t.Fatalf("S(x,y) should be certain: %v %v", cert, err)
+	}
+	// S(x,x) holds only when ν(?1) = a.
+	cert, err = IsCertain(db, cq.MustParseBCQ("S(x, x)"), nil)
+	if err != nil || cert {
+		t.Fatalf("S(x,x) should not be certain: %v %v", cert, err)
+	}
+	poss, err := IsPossible(db, cq.MustParseBCQ("S(x, x)"), nil)
+	if err != nil || !poss {
+		t.Fatalf("S(x,x) should be possible: %v %v", poss, err)
+	}
+	// An atom over an absent relation is impossible.
+	poss, err = IsPossible(db, cq.MustParseBCQ("T(x)"), nil)
+	if err != nil || poss {
+		t.Fatalf("T(x) should be impossible: %v %v", poss, err)
+	}
+}
+
+// TestCertainPossibleConsistentWithCounts: certain ⟺ #Val = total, and
+// possible ⟺ #Val > 0.
+func TestCertainPossibleConsistentWithCounts(t *testing.T) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomUniformDB(r, map[string]int{"R": 1, "S": 1}, 2, 3, 3)
+		val, err := BruteForceValuations(db, q, nil)
+		if err != nil {
+			return false
+		}
+		total, err := db.NumValuations()
+		if err != nil {
+			return false
+		}
+		cert, err := IsCertain(db, q, nil)
+		if err != nil {
+			return false
+		}
+		poss, err := IsPossible(db, q, nil)
+		if err != nil {
+			return false
+		}
+		return cert == (val.Cmp(total) == 0) && poss == (val.Sign() > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsCertainGuard(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for i := 1; i <= 40; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)))
+	}
+	if _, err := IsCertain(db, cq.MustParseBCQ("R(x)"), nil); err == nil {
+		t.Fatal("guard not enforced")
+	}
+	if _, err := IsPossible(db, cq.MustParseBCQ("R(x)"), nil); err == nil {
+		t.Fatal("guard not enforced")
+	}
+}
+
+func TestMuKConvergesToZero(t *testing.T) {
+	// T = {S(⊥1, ⊥2)}, q = S(x,x): µ_k = 1/k -> 0.
+	db := core.NewDatabase()
+	db.MustAddFact("S", core.Null(1), core.Null(2))
+	q := cq.MustParseBCQ("S(x, x)")
+	for _, k := range []int{1, 2, 5, 50} {
+		mu, err := MuK(db, q, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := big.NewRat(1, int64(k))
+		if mu.Cmp(want) != 0 {
+			t.Fatalf("µ_%d = %v, want %v", k, mu, want)
+		}
+	}
+}
+
+func TestMuKConvergesToOne(t *testing.T) {
+	// Same table, q = ¬S(x,x): µ_k = 1 − 1/k -> 1.
+	db := core.NewDatabase()
+	db.MustAddFact("S", core.Null(1), core.Null(2))
+	q := cq.MustParse("!S(x, x)")
+	for _, k := range []int{2, 10, 30} {
+		mu, err := MuK(db, q, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Rat).Sub(big.NewRat(1, 1), big.NewRat(1, int64(k)))
+		if mu.Cmp(want) != 0 {
+			t.Fatalf("µ_%d = %v, want %v", k, mu, want)
+		}
+	}
+}
+
+func TestMuKUsesExactAlgorithms(t *testing.T) {
+	// A table far beyond brute force: 60 nulls in two unary relations with
+	// q = R(x) ∧ S(x); MuK must succeed via Theorem 3.9's algorithm.
+	db := core.NewDatabase()
+	for i := 1; i <= 30; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)))
+		db.MustAddFact("S", core.Null(core.NullID(30+i)))
+	}
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	mu, err := MuK(db, q, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Sign() <= 0 || mu.Cmp(big.NewRat(1, 1)) >= 0 {
+		t.Fatalf("µ_8 = %v out of (0,1)", mu)
+	}
+}
+
+func TestMuKErrors(t *testing.T) {
+	db := core.NewDatabase()
+	db.MustAddFact("S", core.Null(1))
+	if _, err := MuK(db, cq.MustParseBCQ("S(x)"), 0, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestMuKIgnoresAttachedDomains: the attached (non-uniform) domains play no
+// role; only the table matters.
+func TestMuKIgnoresAttachedDomains(t *testing.T) {
+	a := core.NewDatabase()
+	a.MustAddFact("S", core.Null(1), core.Null(2))
+	a.SetDomain(1, []string{"zzz"})
+	a.SetDomain(2, []string{"yyy"})
+	b := core.NewUniformDatabase([]string{"q", "w"})
+	b.MustAddFact("S", core.Null(1), core.Null(2))
+	q := cq.MustParseBCQ("S(x, x)")
+	ma, err := MuK(a, q, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := MuK(b, q, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Cmp(mb) != 0 {
+		t.Fatalf("µ differs: %v vs %v", ma, mb)
+	}
+}

@@ -1,0 +1,173 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// ValuationsCodd implements the tractable side of Theorem 3.7: #ValCd(q)(D)
+// for an sjfBCQ q without the pattern R(x) ∧ S(x) — i.e. no two atoms share
+// a variable — over a Codd table D (uniform or not).
+//
+// Because atoms share no variables and nulls occur at most once, the count
+// factorizes over atoms:
+//
+//	#ValCd(q)(D) = Π_i #ValCd(R_i(x̄_i))(D(R_i)) · Π_{⊥ outside sig(q)} |dom(⊥)|
+//
+// and for a single atom, #ValCd(R(x̄))(D(R)) = total − Π_j ρ(t̄_j), where
+// ρ(t̄_j) counts the valuations of the nulls of tuple t̄_j that do not match
+// x̄ (computed per repeated-variable position group by intersecting the
+// nulls' domains and any constants present).
+func ValuationsCodd(db *core.Database, q *cq.BCQ) (*big.Int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("count: query %v is not self-join-free", q)
+	}
+	if cq.HasSharedVarAtoms(q) {
+		return nil, fmt.Errorf("count: query %v has the pattern R(x) ∧ S(x); Theorem 3.7's algorithm does not apply", q)
+	}
+	if !db.IsCodd() {
+		return nil, fmt.Errorf("count: database is not a Codd table")
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+
+	result := big.NewInt(1)
+	inQuery := make(map[string]bool)
+	for _, a := range q.Atoms {
+		inQuery[a.Rel] = true
+		factor, err := coddAtomCount(db, a)
+		if err != nil {
+			return nil, err
+		}
+		if factor.Sign() == 0 {
+			return big.NewInt(0), nil
+		}
+		result.Mul(result, factor)
+	}
+	// Nulls in relations not mentioned by q are free.
+	for _, f := range db.Facts() {
+		if inQuery[f.Rel] {
+			continue
+		}
+		for _, n := range f.Nulls() {
+			result.Mul(result, big.NewInt(int64(len(db.Domain(n)))))
+		}
+	}
+	return result, nil
+}
+
+// coddAtomCount returns the number of valuations of the nulls of D(R) whose
+// completion satisfies the single atom a.
+func coddAtomCount(db *core.Database, a cq.Atom) (*big.Int, error) {
+	facts := db.FactsOf(a.Rel)
+	if len(facts) == 0 || db.Arity(a.Rel) != len(a.Vars) {
+		return big.NewInt(0), nil
+	}
+	total := big.NewInt(1)
+	for _, f := range facts {
+		for _, n := range f.Nulls() {
+			total.Mul(total, big.NewInt(int64(len(db.Domain(n)))))
+		}
+	}
+	noMatch := big.NewInt(1)
+	for _, f := range facts {
+		rho, err := tupleNoMatchCount(db, a, f)
+		if err != nil {
+			return nil, err
+		}
+		noMatch.Mul(noMatch, rho)
+	}
+	return total.Sub(total, noMatch), nil
+}
+
+// tupleNoMatchCount returns ρ(t̄): the number of valuations of the nulls of
+// fact f that do NOT match the atom pattern a, i.e. (total valuations of
+// f's nulls) − (matching valuations).
+func tupleNoMatchCount(db *core.Database, a cq.Atom, f core.Fact) (*big.Int, error) {
+	tupleTotal := big.NewInt(1)
+	for _, n := range f.Nulls() {
+		tupleTotal.Mul(tupleTotal, big.NewInt(int64(len(db.Domain(n)))))
+	}
+	match := big.NewInt(1)
+	// Group positions by atom variable; for each variable the tuple values
+	// at its positions must coincide.
+	positions := make(map[string][]int)
+	for p, v := range a.Vars {
+		positions[v] = append(positions[v], p)
+	}
+	for _, v := range a.DistinctVars() {
+		s, err := sharedValueCount(db, f, positions[v])
+		if err != nil {
+			return nil, err
+		}
+		if s.Sign() == 0 {
+			return tupleTotal, nil // no valuation of this tuple matches
+		}
+		match.Mul(match, s)
+	}
+	return tupleTotal.Sub(tupleTotal, match), nil
+}
+
+// sharedValueCount returns the number of ways to choose values for the
+// tuple entries at the given positions so that they all coincide. Constants
+// pin the shared value; nulls contribute their domains. Because the table
+// is Codd, the nulls at these positions are pairwise distinct, so the count
+// is the size of the intersection of their domains (restricted to the
+// pinned constant, if any).
+func sharedValueCount(db *core.Database, f core.Fact, positions []int) (*big.Int, error) {
+	var pinned *string
+	var nulls []core.NullID
+	for _, p := range positions {
+		arg := f.Args[p]
+		if arg.IsNull() {
+			nulls = append(nulls, arg.NullID())
+			continue
+		}
+		c := arg.Constant()
+		if pinned != nil && *pinned != c {
+			return big.NewInt(0), nil // two distinct constants can never match
+		}
+		pinned = &c
+	}
+	if pinned != nil {
+		for _, n := range nulls {
+			if !domainContains(db.Domain(n), *pinned) {
+				return big.NewInt(0), nil
+			}
+		}
+		return big.NewInt(1), nil
+	}
+	if len(nulls) == 0 {
+		return nil, fmt.Errorf("count: internal error: empty position group")
+	}
+	inter := make(map[string]bool)
+	for _, c := range db.Domain(nulls[0]) {
+		inter[c] = true
+	}
+	for _, n := range nulls[1:] {
+		next := make(map[string]bool)
+		for _, c := range db.Domain(n) {
+			if inter[c] {
+				next[c] = true
+			}
+		}
+		inter = next
+	}
+	return big.NewInt(int64(len(inter))), nil
+}
+
+func domainContains(dom []string, c string) bool {
+	for _, x := range dom {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

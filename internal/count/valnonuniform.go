@@ -1,0 +1,41 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// ValuationsSingleOccurrence implements the tractable side of Theorem 3.6:
+// #Val(q)(D) for an sjfBCQ q in which every variable occurs exactly once
+// (equivalently, q has neither R(x,x) nor R(x) ∧ S(x) as a pattern). In
+// that case every valuation satisfies q as soon as every relation of q is
+// nonempty with the right arity, so the count is the total number of
+// valuations (or zero).
+//
+// It works for naïve tables, Codd tables, uniform and non-uniform domains.
+func ValuationsSingleOccurrence(db *core.Database, q *cq.BCQ) (*big.Int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("count: query %v is not self-join-free", q)
+	}
+	if !cq.AllVariablesOccurOnce(q) {
+		return nil, fmt.Errorf("count: query %v has a variable with multiple occurrences; Theorem 3.6's algorithm does not apply", q)
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	for _, a := range q.Atoms {
+		if len(db.FactsOf(a.Rel)) == 0 {
+			return big.NewInt(0), nil
+		}
+		if db.Arity(a.Rel) != len(a.Vars) {
+			return big.NewInt(0), nil
+		}
+	}
+	return db.NumValuations()
+}

@@ -1,0 +1,443 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"github.com/incompletedb/incompletedb/internal/combinat"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// ValuationsUniform implements the tractable side of Theorem 3.9 (proved in
+// Appendix A.3 of the paper): #Valu(q)(D) for a uniform incomplete database
+// D and an sjfBCQ q having none of the patterns R(x,x), R(x) ∧ S(x,y) ∧ T(y)
+// and R(x,y) ∧ S(x,y).
+//
+// Under these conditions every atom has at most one multi-occurrence
+// variable (Lemma A.11), so after projecting out single-occurrence variables
+// (Lemma A.12) the query is a conjunction of basic singletons
+// C_1(x_1) ∧ … ∧ C_m(x_m) over unary column projections. By
+// inclusion–exclusion (Lemma A.13),
+//
+//	#Valu(q)(D) = Σ_{S ⊆ [m]} (−1)^{|S|} · N_S(D),
+//
+// where N_S counts the valuations satisfying no C_i with i ∈ S. N_S is
+// computed by the block-image method: group nulls by the set of columns
+// they occur in ("blocks"), group domain values by the set of columns that
+// contain them as constants ("base types"), and sum over the per-block
+// image sizes with surjection counts — a reformulation of the paper's
+// nested sum in Proposition A.14 that the tests validate against brute
+// force.
+func ValuationsUniform(db *core.Database, q *cq.BCQ) (*big.Int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("count: query %v is not self-join-free", q)
+	}
+	if cq.HasRepeatedVarAtom(q) || cq.HasPathPattern(q) || cq.HasDoublySharedPair(q) {
+		return nil, fmt.Errorf("count: query %v has a hard pattern of Theorem 3.9; the FP algorithm does not apply", q)
+	}
+	if !db.Uniform() {
+		return nil, fmt.Errorf("count: database is not uniform")
+	}
+
+	dom := db.UniformDomain()
+	d := len(dom)
+
+	// Any atom over an empty or arity-mismatched relation makes the query
+	// unsatisfiable in every completion.
+	for _, a := range q.Atoms {
+		if len(db.FactsOf(a.Rel)) == 0 || db.Arity(a.Rel) != len(a.Vars) {
+			return big.NewInt(0), nil
+		}
+	}
+
+	cols, err := projectComponents(db, q)
+	if err != nil {
+		return nil, err
+	}
+	m := 0
+	for _, c := range cols {
+		if c.comp+1 > m {
+			m = c.comp + 1
+		}
+	}
+
+	totalNulls := len(db.Nulls())
+	domSet := make(map[string]bool, d)
+	for _, c := range dom {
+		domSet[c] = true
+	}
+
+	answer := big.NewInt(0)
+	// Inclusion–exclusion over subsets of components.
+	for mask := uint32(0); mask < 1<<uint(m); mask++ {
+		var sub []projCol
+		compRenumber := make(map[int]int)
+		for _, c := range cols {
+			if mask&(1<<uint(c.comp)) == 0 {
+				continue
+			}
+			r, ok := compRenumber[c.comp]
+			if !ok {
+				r = len(compRenumber)
+				compRenumber[c.comp] = r
+			}
+			cc := c
+			cc.comp = r
+			sub = append(sub, cc)
+		}
+		nS, _, err := notSatisfyingCount(d, domSet, sub, totalNulls)
+		if err != nil {
+			return nil, err
+		}
+		if popcount32(mask)%2 == 0 {
+			answer.Add(answer, nS)
+		} else {
+			answer.Sub(answer, nS)
+		}
+	}
+	return answer, nil
+}
+
+func popcount32(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// projCol is the unary projection of one atom onto its component variable:
+// the set of constants and nulls in that column, plus the component index.
+type projCol struct {
+	rel    string
+	comp   int
+	consts map[string]bool
+	nulls  map[core.NullID]bool
+}
+
+// projectComponents identifies each atom's multi-occurrence variable (its
+// component) and projects the atom's relation onto that variable's column.
+// Atoms whose variables all occur once are "isolated" and always satisfied
+// (their relations were checked nonempty), so they yield no column.
+func projectComponents(db *core.Database, q *cq.BCQ) ([]projCol, error) {
+	occ := q.VarOccurrences()
+	compIdx := make(map[string]int)
+	var compVars []string
+	for _, a := range q.Atoms {
+		for _, v := range a.DistinctVars() {
+			if occ[v] >= 2 {
+				if _, ok := compIdx[v]; !ok {
+					compIdx[v] = len(compVars)
+					compVars = append(compVars, v)
+				}
+			}
+		}
+	}
+	var cols []projCol
+	for _, a := range q.Atoms {
+		var compVar string
+		pos := -1
+		for p, v := range a.Vars {
+			if occ[v] >= 2 {
+				if compVar != "" && compVar != v {
+					return nil, fmt.Errorf("count: internal error: atom %v has two multi-occurrence variables despite pattern checks", a)
+				}
+				if compVar == v {
+					return nil, fmt.Errorf("count: internal error: atom %v repeats variable %s despite pattern checks", a, v)
+				}
+				compVar = v
+				pos = p
+			}
+		}
+		if compVar == "" {
+			continue // isolated atom
+		}
+		col := projCol{rel: a.Rel, comp: compIdx[compVar], consts: map[string]bool{}, nulls: map[core.NullID]bool{}}
+		for _, f := range db.FactsOf(a.Rel) {
+			arg := f.Args[pos]
+			if arg.IsNull() {
+				col.nulls[arg.NullID()] = true
+			} else {
+				col.consts[arg.Constant()] = true
+			}
+		}
+		cols = append(cols, col)
+	}
+	return cols, nil
+}
+
+// notSatisfyingCount returns N_S scaled to all nulls of the database: the
+// number of valuations of ALL totalNulls nulls whose completion satisfies
+// none of the components present in cols. It also reports the number of
+// relevant nulls (those occurring in the given columns).
+func notSatisfyingCount(d int, domSet map[string]bool, cols []projCol, totalNulls int) (*big.Int, int, error) {
+	if len(cols) == 0 {
+		return combinat.PowInt(int64(d), totalNulls), 0, nil
+	}
+	k := len(cols)
+	if k > 30 {
+		return nil, 0, fmt.Errorf("count: %d columns exceed the supported bound", k)
+	}
+
+	// Component masks over columns.
+	nComps := 0
+	for _, c := range cols {
+		if c.comp+1 > nComps {
+			nComps = c.comp + 1
+		}
+	}
+	compMask := make([]uint32, nComps)
+	for j, c := range cols {
+		compMask[c.comp] |= 1 << uint(j)
+	}
+
+	// Constant types across all columns (including constants outside dom).
+	constType := make(map[string]uint32)
+	for j, c := range cols {
+		for cst := range c.consts {
+			constType[cst] |= 1 << uint(j)
+		}
+	}
+	// A constant witnessing a whole component forces satisfaction in every
+	// valuation.
+	for _, cm := range compMask {
+		for _, tp := range constType {
+			if tp&cm == cm {
+				return big.NewInt(0), relevantNullCount(cols), nil
+			}
+		}
+	}
+
+	allowed := func(t uint32) bool {
+		for _, cm := range compMask {
+			if t&cm == cm {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Base-type groups over dom values.
+	baseCount := make(map[uint32]int)
+	inDomConsts := 0
+	for cst, tp := range constType {
+		if domSet[cst] {
+			baseCount[tp]++
+			inDomConsts++
+		}
+	}
+	if rest := d - inDomConsts; rest > 0 {
+		baseCount[0] += rest
+	}
+
+	// Null blocks over the columns.
+	nullBlock := make(map[core.NullID]uint32)
+	for j, c := range cols {
+		for n := range c.nulls {
+			nullBlock[n] |= 1 << uint(j)
+		}
+	}
+	relevant := len(nullBlock)
+	blockCount := make(map[uint32]int)
+	for _, b := range nullBlock {
+		blockCount[b]++
+	}
+	type block struct {
+		mask uint32
+		n    int
+	}
+	var blocks []block
+	for mask, n := range blockCount {
+		blocks = append(blocks, block{mask, n})
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].mask < blocks[j].mask })
+	nb := len(blocks)
+	if nb > 16 {
+		return nil, relevant, fmt.Errorf("count: %d distinct null blocks exceed the supported bound", nb)
+	}
+
+	// Mixed-radix indexing of per-block usage vectors t with t_b ≤ n_b.
+	radix := make([]int, nb)
+	size := 1
+	for i, b := range blocks {
+		radix[i] = b.n + 1
+		size *= radix[i]
+		if size > 1<<22 {
+			return nil, relevant, fmt.Errorf("count: block-image state space too large")
+		}
+	}
+	idxOf := func(t []int) int {
+		x := 0
+		for i := nb - 1; i >= 0; i-- {
+			x = x*radix[i] + t[i]
+		}
+		return x
+	}
+
+	// Valid patterns: subsets of blocks whose union with a base type stays
+	// allowed. Patterns are recomputed per base type below.
+	// W[t] accumulates the number of ways the dom values can pick block
+	// subsets with per-block totals t.
+	w := make([]*big.Int, size)
+	w[0] = big.NewInt(1)
+
+	var baseMasks []uint32
+	for bm := range baseCount {
+		baseMasks = append(baseMasks, bm)
+	}
+	sort.Slice(baseMasks, func(i, j int) bool { return baseMasks[i] < baseMasks[j] })
+
+	for _, bm := range baseMasks {
+		cB := baseCount[bm]
+		if cB == 0 {
+			continue
+		}
+		if !allowed(bm) {
+			// Values of this base type always witness a component.
+			return big.NewInt(0), relevant, nil
+		}
+		// Patterns: nonempty subsets of blocks with allowed union.
+		type pattern struct {
+			union uint32
+			use   []int // per-block 0/1 usage
+		}
+		var pats []pattern
+		for pm := 1; pm < 1<<uint(nb); pm++ {
+			u := bm
+			use := make([]int, nb)
+			for i := 0; i < nb; i++ {
+				if pm&(1<<uint(i)) != 0 {
+					u |= blocks[i].mask
+					use[i] = 1
+				}
+			}
+			if allowed(u) {
+				pats = append(pats, pattern{u, use})
+			}
+		}
+		// Group distribution: assign counts to patterns.
+		groupDist := make(map[int]*big.Int)
+		t := make([]int, nb)
+		var rec func(pi, used int, weight *big.Int)
+		rec = func(pi, used int, weight *big.Int) {
+			if pi == len(pats) {
+				key := idxOf(t)
+				if cur, ok := groupDist[key]; ok {
+					cur.Add(cur, weight)
+				} else {
+					groupDist[key] = new(big.Int).Set(weight)
+				}
+				return
+			}
+			// k values of this group use pattern pi.
+			maxK := cB - used
+			for i, u := range pats[pi].use {
+				if u == 1 {
+					avail := blocks[i].n - t[i]
+					if avail < maxK {
+						maxK = avail
+					}
+				}
+			}
+			for kk := 0; kk <= maxK; kk++ {
+				if kk > 0 {
+					for i, u := range pats[pi].use {
+						if u == 1 {
+							t[i] += kk
+						}
+					}
+				}
+				wgt := new(big.Int).Mul(weight, combinat.Binomial(cB-used, kk))
+				rec(pi+1, used+kk, wgt)
+				if kk > 0 {
+					for i, u := range pats[pi].use {
+						if u == 1 {
+							t[i] -= kk
+						}
+					}
+				}
+			}
+		}
+		rec(0, 0, big.NewInt(1))
+
+		// Convolve W with the group distribution.
+		nw := make([]*big.Int, size)
+		for idx, cnt := range w {
+			if cnt == nil || cnt.Sign() == 0 {
+				continue
+			}
+			// Decode idx into tBase.
+			x := idx
+			tBase := make([]int, nb)
+			for i := 0; i < nb; i++ {
+				tBase[i] = x % radix[i]
+				x /= radix[i]
+			}
+			for gIdx, gCnt := range groupDist {
+				// Decode gIdx and add.
+				y := gIdx
+				ok := true
+				sum := make([]int, nb)
+				for i := 0; i < nb; i++ {
+					gi := y % radix[i]
+					y /= radix[i]
+					sum[i] = tBase[i] + gi
+					if sum[i] > blocks[i].n {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				key := idxOf(sum)
+				term := new(big.Int).Mul(cnt, gCnt)
+				if nw[key] == nil {
+					nw[key] = term
+				} else {
+					nw[key].Add(nw[key], term)
+				}
+			}
+		}
+		w = nw
+	}
+
+	// Weighted sum with surjection counts.
+	total := big.NewInt(0)
+	for idx, cnt := range w {
+		if cnt == nil || cnt.Sign() == 0 {
+			continue
+		}
+		x := idx
+		term := new(big.Int).Set(cnt)
+		for i := 0; i < nb; i++ {
+			ti := x % radix[i]
+			x /= radix[i]
+			term.Mul(term, combinat.Surjections(blocks[i].n, ti))
+			if term.Sign() == 0 {
+				break
+			}
+		}
+		total.Add(total, term)
+	}
+
+	// Scale by the free nulls outside the relevant columns.
+	total.Mul(total, combinat.PowInt(int64(d), totalNulls-relevant))
+	return total, relevant, nil
+}
+
+func relevantNullCount(cols []projCol) int {
+	seen := make(map[core.NullID]bool)
+	for _, c := range cols {
+		for n := range c.nulls {
+			seen[n] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,161 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseInequality(t *testing.T) {
+	q, err := Parse("R(x, y) ∧ x ≠ y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq, ok := q.(*BCQNeq)
+	if !ok {
+		t.Fatalf("expected BCQNeq, got %T", q)
+	}
+	if len(nq.Base.Atoms) != 1 || len(nq.Diffs) != 1 {
+		t.Fatalf("parsed %v", nq)
+	}
+	// ASCII form.
+	q2, err := Parse("R(x, y), x != y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("ASCII and unicode forms differ: %q vs %q", q2.String(), q.String())
+	}
+	// Round trip.
+	q3, err := Parse(q.String())
+	if err != nil || q3.String() != q.String() {
+		t.Fatalf("round trip failed: %v %v", q3, err)
+	}
+}
+
+func TestParseInequalityErrors(t *testing.T) {
+	for _, s := range []string{
+		"x ≠ y",               // no atoms: unsafe
+		"R(x) ∧ x ≠ y",        // y unsafe
+		"R(x) ∧ x ≠ x",        // unsatisfiable inequality
+		"R(x) | S(y) ∧ x ≠ y", // inequality in a union
+		"R(x, y) ∧ x ≠",       // missing rhs
+		"R(x, y) ∧ x !",       // bad token: '!' only allowed as '!='
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestInequalityEval(t *testing.T) {
+	q := MustParse("R(x, y) ∧ x ≠ y").(*BCQNeq)
+	if q.Eval(inst([]string{"R", "a", "a"})) {
+		t.Error("R(a,a) should not satisfy x ≠ y")
+	}
+	if !q.Eval(inst([]string{"R", "a", "a"}, []string{"R", "a", "b"})) {
+		t.Error("R(a,b) should satisfy x ≠ y")
+	}
+}
+
+func TestInequalityEvalJoin(t *testing.T) {
+	// Two distinct elements of R: needs |R| ≥ 2.
+	q := MustParse("R(x) ∧ R'(y) ∧ x ≠ y")
+	i := inst([]string{"R", "a"}, []string{"R'", "a"})
+	if q.Eval(i) {
+		t.Error("single shared element should fail")
+	}
+	i.Add("R'", "b")
+	if !q.Eval(i) {
+		t.Error("two distinct elements should succeed")
+	}
+}
+
+// TestInequalityRefinesBCQ: dropping the inequalities can only make the
+// query easier to satisfy.
+func TestInequalityRefinesBCQ(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomSJFQuery(r)
+		vars := q.Vars()
+		if len(vars) < 2 {
+			return true
+		}
+		nq := &BCQNeq{Base: q, Diffs: [][2]string{{vars[0], vars[1]}}}
+		// Random small instance.
+		i := inst()
+		universe := []string{"a", "b", "c"}
+		for _, a := range q.Atoms {
+			for k := 0; k < 1+r.Intn(3); k++ {
+				t := make([]string, len(a.Vars))
+				for p := range t {
+					t[p] = universe[r.Intn(len(universe))]
+				}
+				i.Add(a.Rel, t...)
+			}
+		}
+		if nq.Eval(i) && !q.Eval(i) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCQNeqValidate(t *testing.T) {
+	base := MustParseBCQ("R(x, y)")
+	good := &BCQNeq{Base: base, Diffs: [][2]string{{"x", "y"}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &BCQNeq{Base: base, Diffs: [][2]string{{"x", "z"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unsafe inequality accepted")
+	}
+}
+
+// TestParserNeverPanics feeds adversarial inputs to the parser; it must
+// return errors, not panic.
+func TestParserNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", " ", "(", ")", "¬", "!", "!!", "≠", "x≠", "≠x", "R((", "R()", "R(x",
+		"R(x))", "R(x),", ",R(x)", "R(x) ∧ ∧ S(y)", "R(x) || S(y)", "|",
+		"TRUE(", "NOT", "NOT NOT R(x)", "R(x) != S(y)", "R (x)", "R(x y)",
+		"ＲR(x)", "R(x)∧", "!(R(x)", "!(R(x)))",
+	}
+	for _, s := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", s, r)
+				}
+			}()
+			Parse(s) // error or success, but no panic
+		}()
+	}
+}
+
+// TestParserFuzzRandomBytes drives the parser with random byte strings.
+func TestParserFuzzRandomBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		buf := make([]byte, n)
+		alphabet := "RSTxyz(),∧!≠=| \tAND"
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Errorf("Parse(%q) panicked: %v", string(buf), rec)
+			}
+		}()
+		Parse(string(buf))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

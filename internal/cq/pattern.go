@@ -1,0 +1,234 @@
+package cq
+
+// This file implements the pattern relation of Definition 3.1: an sjfBCQ q'
+// is a pattern of an sjfBCQ q if q' can be obtained from q by any sequence of
+// atom deletions, variable-occurrence deletions (keeping at least one
+// variable per atom), relation renamings to fresh symbols, variable renamings
+// to fresh variables, and reorderings of the variables within an atom.
+//
+// Equivalently (and this is what IsPatternOf decides): there are an injective
+// map μ from the atoms of q' to the atoms of q and an injective map ρ from
+// the variables of q' to the variables of q such that, for every atom A' of
+// q', the multiset of ρ-images of the variable occurrences of A' is contained
+// in the multiset of variable occurrences of μ(A').
+//
+// The canonical patterns driving the paper's dichotomies (Table 1) are
+// provided as package variables together with fast structural predicates;
+// the predicates are cross-validated against IsPatternOf in the tests.
+
+// Canonical hard patterns of Table 1.
+var (
+	// PatternRxx is R(x,x): an atom with a repeated variable.
+	PatternRxx = MustParseBCQ("R(x, x)")
+	// PatternRxSx is R(x) ∧ S(x): two atoms sharing a variable.
+	PatternRxSx = MustParseBCQ("R(x) ∧ S(x)")
+	// PatternPath is R(x) ∧ S(x,y) ∧ T(y).
+	PatternPath = MustParseBCQ("R(x) ∧ S(x, y) ∧ T(y)")
+	// PatternRxySxy is R(x,y) ∧ S(x,y): two atoms sharing two variables.
+	PatternRxySxy = MustParseBCQ("R(x, y) ∧ S(x, y)")
+	// PatternRxy is R(x,y): an atom with two distinct variables.
+	PatternRxy = MustParseBCQ("R(x, y)")
+	// PatternRx is R(x); it is a pattern of every sjfBCQ.
+	PatternRx = MustParseBCQ("R(x)")
+)
+
+// IsPatternOf reports whether p is a pattern of q in the sense of
+// Definition 3.1. Both queries are expected to be self-join-free; the
+// decision is exact for that fragment.
+func IsPatternOf(p, q *BCQ) bool {
+	if len(p.Atoms) > len(q.Atoms) {
+		return false
+	}
+	usedAtom := make([]bool, len(q.Atoms))
+	varMap := make(map[string]string) // p-var -> q-var
+	invMap := make(map[string]bool)   // q-vars already used (injectivity)
+
+	// matchVars tries to extend varMap so that the multiset of images of
+	// pVars fits inside qCounts. pVars is the list of distinct variables of
+	// the p-atom; need[v] is the required multiplicity.
+	var matchVars func(pVars []string, idx int, need map[string]int, qCounts map[string]int, cont func() bool) bool
+	matchVars = func(pVars []string, idx int, need map[string]int, qCounts map[string]int, cont func() bool) bool {
+		if idx == len(pVars) {
+			return cont()
+		}
+		v := pVars[idx]
+		if img, ok := varMap[v]; ok {
+			if qCounts[img] < need[v] {
+				return false
+			}
+			qCounts[img] -= need[v]
+			if matchVars(pVars, idx+1, need, qCounts, cont) {
+				return true
+			}
+			qCounts[img] += need[v]
+			return false
+		}
+		for qv, cnt := range qCounts {
+			if invMap[qv] || cnt < need[v] {
+				continue
+			}
+			varMap[v] = qv
+			invMap[qv] = true
+			qCounts[qv] -= need[v]
+			if matchVars(pVars, idx+1, need, qCounts, cont) {
+				return true
+			}
+			qCounts[qv] += need[v]
+			delete(varMap, v)
+			delete(invMap, qv)
+		}
+		return false
+	}
+
+	var matchAtoms func(i int) bool
+	matchAtoms = func(i int) bool {
+		if i == len(p.Atoms) {
+			return true
+		}
+		pa := p.Atoms[i]
+		need := pa.VarCounts()
+		pVars := pa.DistinctVars()
+		for j := range q.Atoms {
+			if usedAtom[j] {
+				continue
+			}
+			qa := q.Atoms[j]
+			if len(pa.Vars) > len(qa.Vars) {
+				continue
+			}
+			usedAtom[j] = true
+			qCounts := qa.VarCounts()
+			if matchVars(pVars, 0, need, qCounts, func() bool { return matchAtoms(i + 1) }) {
+				return true
+			}
+			usedAtom[j] = false
+		}
+		return false
+	}
+	return matchAtoms(0)
+}
+
+// HasRepeatedVarAtom reports whether q has R(x,x) as a pattern: some atom
+// contains a repeated variable.
+func HasRepeatedVarAtom(q *BCQ) bool {
+	for _, a := range q.Atoms {
+		for _, c := range a.VarCounts() {
+			if c >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasSharedVarAtoms reports whether q has R(x) ∧ S(x) as a pattern: two
+// distinct atoms share a variable.
+func HasSharedVarAtoms(q *BCQ) bool {
+	for i := range q.Atoms {
+		vi := q.Atoms[i].VarCounts()
+		for j := i + 1; j < len(q.Atoms); j++ {
+			for _, v := range q.Atoms[j].Vars {
+				if vi[v] > 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasPathPattern reports whether q has R(x) ∧ S(x,y) ∧ T(y) as a pattern:
+// three pairwise distinct atoms A, B, C and distinct variables x, y with
+// x ∈ vars(A) ∩ vars(B) and y ∈ vars(B) ∩ vars(C).
+func HasPathPattern(q *BCQ) bool {
+	n := len(q.Atoms)
+	if n < 3 {
+		return false
+	}
+	counts := make([]map[string]int, n)
+	for i, a := range q.Atoms {
+		counts[i] = a.VarCounts()
+	}
+	for b := 0; b < n; b++ {
+		bVars := q.Atoms[b].DistinctVars()
+		for _, x := range bVars {
+			for _, y := range bVars {
+				if x == y {
+					continue
+				}
+				for a := 0; a < n; a++ {
+					if a == b || counts[a][x] == 0 {
+						continue
+					}
+					for c := 0; c < n; c++ {
+						if c == b || c == a || counts[c][y] == 0 {
+							continue
+						}
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasDoublySharedPair reports whether q has R(x,y) ∧ S(x,y) as a pattern:
+// two distinct atoms share two distinct variables.
+func HasDoublySharedPair(q *BCQ) bool {
+	for i := range q.Atoms {
+		ci := q.Atoms[i].VarCounts()
+		for j := i + 1; j < len(q.Atoms); j++ {
+			shared := 0
+			for _, v := range q.Atoms[j].DistinctVars() {
+				if ci[v] > 0 {
+					shared++
+					if shared >= 2 {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasBinaryPattern reports whether q has R(x,y) as a pattern: some atom
+// contains two distinct variables.
+func HasBinaryPattern(q *BCQ) bool {
+	for _, a := range q.Atoms {
+		if len(a.DistinctVars()) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// AllVariablesOccurOnce reports whether every variable of q has exactly one
+// occurrence, which by Theorem 3.6 characterizes (for sjfBCQs) the absence of
+// both R(x,x) and R(x) ∧ S(x) as patterns.
+func AllVariablesOccurOnce(q *BCQ) bool {
+	for _, c := range q.VarOccurrences() {
+		if c != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllAtomsUnary reports whether every atom of q has arity one, which for
+// sjfBCQs characterizes the absence of both R(x,x) and R(x,y) as patterns
+// (Theorem 4.6's tractable side).
+func AllAtomsUnary(q *BCQ) bool {
+	for _, a := range q.Atoms {
+		if len(a.Vars) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NoTwoAtomsShareAVariable reports whether no two atoms of q share a
+// variable, i.e. q lacks the R(x) ∧ S(x) pattern (Theorem 3.7's tractable
+// side for Codd tables).
+func NoTwoAtomsShareAVariable(q *BCQ) bool { return !HasSharedVarAtoms(q) }

@@ -1,0 +1,263 @@
+package cq
+
+import (
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+)
+
+func inst(facts ...[]string) *core.Instance {
+	i := core.NewInstance()
+	for _, f := range facts {
+		i.Add(f[0], f[1:]...)
+	}
+	return i
+}
+
+func TestParseSimpleBCQ(t *testing.T) {
+	q, err := ParseBCQ("R(x, y) ∧ S(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 || q.Atoms[0].Rel != "R" || q.Atoms[1].Rel != "S" {
+		t.Fatalf("parsed %v", q)
+	}
+	if got := q.String(); got != "R(x, y) ∧ S(x)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseSeparators(t *testing.T) {
+	for _, s := range []string{
+		"R(x,y), S(x)",
+		"R(x,y) & S(x)",
+		"R(x,y) AND S(x)",
+		"R(x,y) ∧ S(x)",
+	} {
+		q, err := ParseBCQ(s)
+		if err != nil {
+			t.Fatalf("ParseBCQ(%q): %v", s, err)
+		}
+		if len(q.Atoms) != 2 {
+			t.Fatalf("ParseBCQ(%q): %d atoms", s, len(q.Atoms))
+		}
+	}
+}
+
+func TestParseUnionAndNegation(t *testing.T) {
+	q, err := Parse("R(x) | S(y, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := q.(*UCQ)
+	if !ok || len(u.Disjuncts) != 2 {
+		t.Fatalf("expected UCQ with 2 disjuncts, got %T %v", q, q)
+	}
+	n, err := Parse("!R(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(*Negation); !ok {
+		t.Fatalf("expected Negation, got %T", n)
+	}
+	n2, err := Parse("NOT R(x) ∨ S(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n2.(*Negation); !ok {
+		t.Fatalf("expected Negation of union, got %T", n2)
+	}
+	tr, err := Parse("TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.(Tautology); !ok {
+		t.Fatalf("expected Tautology, got %T", tr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "R", "R()", "R(x", "R(x))", "R(x) extra", "R(x,)", "(x)",
+		"R(x) ||", "TRUE R(x)", "R(x) ∧",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseBCQRejectsUnionNegationTautology(t *testing.T) {
+	for _, s := range []string{"R(x) | S(x)", "!R(x)", "TRUE"} {
+		if _, err := ParseBCQ(s); err == nil {
+			t.Errorf("ParseBCQ(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&BCQ{}).Validate(); err == nil {
+		t.Error("empty query should not validate")
+	}
+	if err := (&BCQ{Atoms: []Atom{{Rel: "R"}}}).Validate(); err == nil {
+		t.Error("zero-arity atom should not validate")
+	}
+	q := &BCQ{Atoms: []Atom{
+		{Rel: "R", Vars: []string{"x"}},
+		{Rel: "R", Vars: []string{"x", "y"}},
+	}}
+	if err := q.Validate(); err == nil {
+		t.Error("arity conflict should not validate")
+	}
+}
+
+func TestEvalSingleAtom(t *testing.T) {
+	q := MustParseBCQ("R(x, x)")
+	if q.Eval(inst([]string{"R", "a", "b"})) {
+		t.Error("R(x,x) should not hold in {R(a,b)}")
+	}
+	if !q.Eval(inst([]string{"R", "a", "b"}, []string{"R", "c", "c"})) {
+		t.Error("R(x,x) should hold in {R(a,b), R(c,c)}")
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	q := MustParseBCQ("R(x) ∧ S(x, y) ∧ T(y)")
+	i := inst(
+		[]string{"R", "a"},
+		[]string{"S", "a", "b"},
+		[]string{"T", "c"},
+	)
+	if q.Eval(i) {
+		t.Error("query should not hold: T(b) missing")
+	}
+	i.Add("T", "b")
+	if !q.Eval(i) {
+		t.Error("query should hold after adding T(b)")
+	}
+}
+
+func TestEvalSelfJoin(t *testing.T) {
+	q := MustParseBCQ("E(x, y) ∧ E(y, z)")
+	i := inst([]string{"E", "a", "b"})
+	if q.Eval(i) {
+		t.Error("path of length 2 should not exist")
+	}
+	i.Add("E", "b", "c")
+	if !q.Eval(i) {
+		t.Error("path a->b->c should satisfy the query")
+	}
+}
+
+func TestEvalEmptyRelation(t *testing.T) {
+	q := MustParseBCQ("R(x) ∧ S(x)")
+	if q.Eval(inst([]string{"R", "a"})) {
+		t.Error("query should not hold with S empty")
+	}
+}
+
+func TestEvalMonotone(t *testing.T) {
+	// BCQs are monotone: adding facts never falsifies.
+	q := MustParseBCQ("R(x, y) ∧ S(y)")
+	i := inst([]string{"R", "a", "b"}, []string{"S", "b"})
+	if !q.Eval(i) {
+		t.Fatal("base instance should satisfy")
+	}
+	i.Add("R", "z", "w")
+	i.Add("S", "q")
+	if !q.Eval(i) {
+		t.Error("monotonicity violated")
+	}
+}
+
+func TestUCQEval(t *testing.T) {
+	u := MustParse("R(x, x) | S(y)").(*UCQ)
+	if !u.Eval(inst([]string{"S", "a"})) {
+		t.Error("second disjunct should fire")
+	}
+	if u.Eval(inst([]string{"R", "a", "b"})) {
+		t.Error("no disjunct should fire")
+	}
+}
+
+func TestNegationEval(t *testing.T) {
+	n := MustParse("!R(x)").(*Negation)
+	if !n.Eval(core.NewInstance()) {
+		t.Error("¬R(x) should hold in the empty instance")
+	}
+	if n.Eval(inst([]string{"R", "a"})) {
+		t.Error("¬R(x) should fail when R is nonempty")
+	}
+}
+
+func TestTautologyEval(t *testing.T) {
+	if !(Tautology{}).Eval(core.NewInstance()) {
+		t.Error("TRUE should hold everywhere")
+	}
+}
+
+func TestFuncQuery(t *testing.T) {
+	f := &Func{Name: "even-size", F: func(i *core.Instance) bool { return i.Size()%2 == 0 }}
+	if !f.Eval(core.NewInstance()) || f.String() != "even-size" {
+		t.Error("Func query wrong")
+	}
+	if f.Eval(inst([]string{"R", "a"})) {
+		t.Error("Func query wrong on odd instance")
+	}
+}
+
+func TestSelfJoinFree(t *testing.T) {
+	if !MustParseBCQ("R(x) ∧ S(x)").SelfJoinFree() {
+		t.Error("sjf query misclassified")
+	}
+	q := &BCQ{Atoms: []Atom{
+		{Rel: "R", Vars: []string{"x"}},
+		{Rel: "R", Vars: []string{"y"}},
+	}}
+	if q.SelfJoinFree() {
+		t.Error("self-join not detected")
+	}
+}
+
+func TestVarsRelationsOccurrences(t *testing.T) {
+	q := MustParseBCQ("R(x, y, x) ∧ S(z)")
+	vars := q.Vars()
+	if len(vars) != 3 || vars[0] != "x" || vars[1] != "y" || vars[2] != "z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	occ := q.VarOccurrences()
+	if occ["x"] != 2 || occ["y"] != 1 || occ["z"] != 1 {
+		t.Fatalf("VarOccurrences = %v", occ)
+	}
+	rels := q.Relations()
+	if len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Fatalf("Relations = %v", rels)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	q := MustParseBCQ("R(x, y)")
+	c := q.Clone()
+	c.Atoms[0].Vars[0] = "zzz"
+	if q.Atoms[0].Vars[0] != "x" {
+		t.Error("Clone shares variable storage")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"R(x, x)",
+		"R(x) ∧ S(x)",
+		"R(x) ∧ S(x, y) ∧ T(y)",
+		"R(x, y) ∧ S(x, y)",
+		"R(x) ∨ S(y, y)",
+		"¬(R(x, y))",
+		"TRUE",
+	} {
+		q := MustParse(s)
+		q2 := MustParse(q.String())
+		if q2.String() != q.String() {
+			t.Errorf("round trip %q -> %q -> %q", s, q.String(), q2.String())
+		}
+	}
+}

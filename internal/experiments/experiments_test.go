@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllQuick executes the full experiment suite in quick mode; every
+// experiment must pass.
+func TestRunAllQuick(t *testing.T) {
+	reports := RunAll(Config{Quick: true, Seed: 7})
+	if len(reports) != 24 {
+		t.Fatalf("%d reports, want 24", len(reports))
+	}
+	seen := make(map[string]bool)
+	for _, r := range reports {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !r.Pass {
+			t.Errorf("experiment %s failed: %s", r.ID, r.Measured)
+		}
+		if r.ID == "" || r.Title == "" || r.Measured == "" {
+			t.Errorf("experiment %s has empty fields: %+v", r.ID, r)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	reports := []Report{
+		{ID: "E-X", Title: "demo", PaperClaim: "c", Measured: "m", Pass: true},
+		{ID: "E-Y", Title: "demo2", Measured: "m2", Pass: false},
+	}
+	out := Render(reports)
+	if !strings.Contains(out, "[PASS] E-X") || !strings.Contains(out, "[FAIL] E-Y") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+// TestSelectedExperimentsFullSize runs a few core experiments at full size
+// to make sure the non-quick paths work.
+func TestSelectedExperimentsFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiments skipped in -short mode")
+	}
+	cfg := Config{Seed: 11}
+	for _, r := range []Report{
+		Table1Experiment(),
+		Figure1Experiment(),
+		GadgetExperiment(),
+		StretchTutteExperiment(),
+	} {
+		if !r.Pass {
+			t.Errorf("%s failed: %s", r.ID, r.Measured)
+		}
+	}
+	if r := Example310Experiment(cfg); !r.Pass {
+		t.Errorf("E-EX310 failed: %s", r.Measured)
+	}
+}

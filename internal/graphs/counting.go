@@ -1,0 +1,256 @@
+package graphs
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// maxBruteNodes bounds the exponential counters; the reductions only need
+// small instances.
+const maxBruteNodes = 26
+
+// CountProperColorings returns the number of proper k-colorings of g by
+// exhaustive search with early pruning.
+func CountProperColorings(g *Graph, k int) (*big.Int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("graphs: negative color count %d", k)
+	}
+	if g.n > maxBruteNodes {
+		return nil, fmt.Errorf("graphs: CountProperColorings on %d nodes exceeds brute-force bound %d", g.n, maxBruteNodes)
+	}
+	color := make([]int, g.n)
+	total := big.NewInt(0)
+	one := big.NewInt(1)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == g.n {
+			total.Add(total, one)
+			return
+		}
+		for c := 0; c < k; c++ {
+			ok := true
+			for u := range g.adj[v] {
+				if u < v && color[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				color[v] = c
+				rec(v + 1)
+			}
+		}
+	}
+	rec(0)
+	return total, nil
+}
+
+// IsKColorable reports whether g has a proper k-coloring.
+func IsKColorable(g *Graph, k int) bool {
+	color := make([]int, g.n)
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.n {
+			return true
+		}
+		for c := 0; c < k; c++ {
+			ok := true
+			for u := range g.adj[v] {
+				if u < v && color[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				color[v] = c
+				if rec(v + 1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// CountIndependentSets returns the number of independent sets of g
+// (including the empty set), by branching with memo-free recursion.
+func CountIndependentSets(g *Graph) (*big.Int, error) {
+	if g.n > maxBruteNodes {
+		return nil, fmt.Errorf("graphs: CountIndependentSets on %d nodes exceeds brute-force bound %d", g.n, maxBruteNodes)
+	}
+	// Branch on vertex v: either v not in the set, or v in the set and all
+	// neighbors excluded.
+	excluded := make([]bool, g.n)
+	total := big.NewInt(0)
+	one := big.NewInt(1)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == g.n {
+			total.Add(total, one)
+			return
+		}
+		rec(v + 1) // v out
+		if !excluded[v] {
+			// v in: check no earlier chosen neighbor. We track exclusion
+			// eagerly, so it suffices to mark neighbors.
+			var marked []int
+			for u := range g.adj[v] {
+				if u > v && !excluded[u] {
+					excluded[u] = true
+					marked = append(marked, u)
+				}
+			}
+			rec(v + 1)
+			for _, u := range marked {
+				excluded[u] = false
+			}
+		}
+	}
+	rec(0)
+	return total, nil
+}
+
+// CountVertexCovers returns the number of vertex covers of g. S is a vertex
+// cover iff V\S is an independent set, so the two counts coincide.
+func CountVertexCovers(g *Graph) (*big.Int, error) {
+	return CountIndependentSets(g)
+}
+
+// IndependentPairCounts returns, for a bipartite graph, the matrix Z where
+// Z[i][j] is the number of pairs (S1 ⊆ left, S2 ⊆ right) with |S1| = i,
+// |S2| = j and no edge between S1 and S2 ("independent pairs" in the proof
+// of Proposition 3.11 of the paper).
+func IndependentPairCounts(b *Bipartite) ([][]*big.Int, error) {
+	if b.NL > 20 || b.NR > 20 {
+		return nil, fmt.Errorf("graphs: IndependentPairCounts on %d+%d nodes too large", b.NL, b.NR)
+	}
+	z := make([][]*big.Int, b.NL+1)
+	for i := range z {
+		z[i] = make([]*big.Int, b.NR+1)
+		for j := range z[i] {
+			z[i][j] = big.NewInt(0)
+		}
+	}
+	one := big.NewInt(1)
+	for s1 := 0; s1 < 1<<uint(b.NL); s1++ {
+		// Union of neighborhoods of S1.
+		forbidden := 0
+		popL := 0
+		for l := 0; l < b.NL; l++ {
+			if s1&(1<<uint(l)) == 0 {
+				continue
+			}
+			popL++
+			for r := range b.adjL[l] {
+				forbidden |= 1 << uint(r)
+			}
+		}
+		// Enumerate S2 avoiding forbidden.
+		for s2 := 0; s2 < 1<<uint(b.NR); s2++ {
+			if s2&forbidden != 0 {
+				continue
+			}
+			popR := popcount(s2)
+			z[popL][popR].Add(z[popL][popR], one)
+		}
+	}
+	return z, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// CountIndependentSetsBipartite returns the number of independent sets of
+// the bipartite graph (the quantity #BIS), i.e. Σ_{i,j} Z[i][j].
+func CountIndependentSetsBipartite(b *Bipartite) (*big.Int, error) {
+	z, err := IndependentPairCounts(b)
+	if err != nil {
+		return nil, err
+	}
+	total := big.NewInt(0)
+	for _, row := range z {
+		for _, v := range row {
+			total.Add(total, v)
+		}
+	}
+	return total, nil
+}
+
+// IsHamiltonian reports whether g has a Hamiltonian cycle. By the usual
+// convention a Hamiltonian cycle needs at least 3 nodes; graphs on fewer
+// nodes are not Hamiltonian.
+func IsHamiltonian(g *Graph) bool {
+	n := g.n
+	if n < 3 {
+		return false
+	}
+	// Fix node 0 as the start; try all permutations of the rest with
+	// pruning.
+	perm := make([]int, 0, n)
+	perm = append(perm, 0)
+	used := make([]bool, n)
+	used[0] = true
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == n {
+			return g.HasEdge(perm[n-1], 0)
+		}
+		last := perm[len(perm)-1]
+		for _, u := range g.Neighbors(last) {
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			perm = append(perm, u)
+			if rec() {
+				return true
+			}
+			perm = perm[:len(perm)-1]
+			used[u] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+// CountHamiltonianInducedSubgraphs returns the number of k-node subsets S of
+// g such that the induced subgraph G[S] is Hamiltonian — the SpanP-complete
+// problem #HamSubgraphs of Theorem 6.4 (after Köbler, Schöning and Torán).
+func CountHamiltonianInducedSubgraphs(g *Graph, k int) (*big.Int, error) {
+	if g.n > 20 {
+		return nil, fmt.Errorf("graphs: CountHamiltonianInducedSubgraphs on %d nodes too large", g.n)
+	}
+	if k < 0 || k > g.n {
+		return big.NewInt(0), nil
+	}
+	total := big.NewInt(0)
+	one := big.NewInt(1)
+	subset := make([]int, 0, k)
+	var rec func(next int)
+	rec = func(next int) {
+		if len(subset) == k {
+			sub, _ := g.InducedSubgraph(subset)
+			if IsHamiltonian(sub) {
+				total.Add(total, one)
+			}
+			return
+		}
+		if g.n-next < k-len(subset) {
+			return
+		}
+		for v := next; v < g.n; v++ {
+			subset = append(subset, v)
+			rec(v + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+	return total, nil
+}

@@ -1,0 +1,538 @@
+package graphs
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func eqInt(t *testing.T, got *big.Int, want int64, msg string) {
+	t.Helper()
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("%s = %v, want %d", msg, got, want)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0) // parallel ignored
+	g.MustAddEdge(2, 3)
+	if g.M() != 2 || g.N() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) || g.HasEdge(-1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(1) != 1 {
+		t.Fatal("Degree wrong")
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 9); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	ns := g.Neighbors(1)
+	if len(ns) != 1 || ns[0] != 0 {
+		t.Fatalf("Neighbors = %v", ns)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 {
+		t.Fatalf("first component = %v", comps[0])
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(4)
+	sub, nodes := g.InducedSubgraph([]int{3, 0, 2})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced K3 wrong: %v", sub)
+	}
+	if nodes[0] != 0 || nodes[1] != 2 || nodes[2] != 3 {
+		t.Fatalf("node mapping %v", nodes)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if p := Path(4); p.M() != 3 {
+		t.Fatal("Path wrong")
+	}
+	if c := Cycle(5); c.M() != 5 {
+		t.Fatal("Cycle wrong")
+	}
+	if k := Complete(5); k.M() != 10 {
+		t.Fatal("Complete wrong")
+	}
+	pet := Petersen()
+	if pet.N() != 10 || pet.M() != 15 {
+		t.Fatalf("Petersen N=%d M=%d", pet.N(), pet.M())
+	}
+	for v := 0; v < 10; v++ {
+		if pet.Degree(v) != 3 {
+			t.Fatalf("Petersen degree(%d) = %d", v, pet.Degree(v))
+		}
+	}
+	r := Random(10, 0.5, rand.New(rand.NewSource(1)))
+	if r.N() != 10 {
+		t.Fatal("Random wrong size")
+	}
+}
+
+func TestCountProperColorings(t *testing.T) {
+	// Chromatic polynomial checks.
+	tri := Complete(3)
+	got, err := CountProperColorings(tri, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, got, 6, "3-colorings of K3")
+
+	p3, _ := CountProperColorings(Path(3), 3) // k(k-1)^2 = 12
+	eqInt(t, p3, 12, "3-colorings of P3")
+
+	c5, _ := CountProperColorings(Cycle(5), 3) // (k-1)^n + (-1)^n (k-1) = 32-2 = 30
+	eqInt(t, c5, 30, "3-colorings of C5")
+
+	empty, _ := CountProperColorings(NewGraph(3), 2)
+	eqInt(t, empty, 8, "2-colorings of empty graph")
+
+	k4, _ := CountProperColorings(Complete(4), 3)
+	eqInt(t, k4, 0, "3-colorings of K4")
+
+	if _, err := CountProperColorings(NewGraph(100), 3); err == nil {
+		t.Fatal("brute-force bound not enforced")
+	}
+	if _, err := CountProperColorings(tri, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestIsKColorable(t *testing.T) {
+	if !IsKColorable(Petersen(), 3) {
+		t.Error("Petersen is 3-colorable")
+	}
+	if IsKColorable(Complete(4), 3) {
+		t.Error("K4 is not 3-colorable")
+	}
+	if !IsKColorable(Cycle(5), 3) || IsKColorable(Cycle(5), 2) {
+		t.Error("odd cycle colorability wrong")
+	}
+}
+
+func TestCountIndependentSets(t *testing.T) {
+	// Path graphs: #IS(P_n) = Fibonacci(n+2).
+	fib := []int64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	for n := 0; n <= 8; n++ {
+		got, err := CountIndependentSets(Path(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqInt(t, got, fib[n+1], "IS of path")
+	}
+	// K_n: n+1 independent sets.
+	k5, _ := CountIndependentSets(Complete(5))
+	eqInt(t, k5, 6, "IS of K5")
+	// Lucas numbers for cycles: #IS(C_n) = L_n.
+	c5, _ := CountIndependentSets(Cycle(5))
+	eqInt(t, c5, 11, "IS of C5")
+	if _, err := CountIndependentSets(NewGraph(100)); err == nil {
+		t.Fatal("bound not enforced")
+	}
+}
+
+// TestISBruteForceAgainstBitmask cross-checks the branching counter against
+// a direct bitmask enumeration on random graphs.
+func TestISBruteForceAgainstBitmask(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Random(1+r.Intn(10), 0.4, r)
+		want := int64(0)
+		for mask := 0; mask < 1<<uint(g.N()); mask++ {
+			ok := true
+			for _, e := range g.Edges() {
+				if mask&(1<<uint(e[0])) != 0 && mask&(1<<uint(e[1])) != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want++
+			}
+		}
+		got, err := CountIndependentSets(g)
+		return err == nil && got.Cmp(big.NewInt(want)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCoversEqualsIndependentSets(t *testing.T) {
+	g := Random(8, 0.3, rand.New(rand.NewSource(7)))
+	is, _ := CountIndependentSets(g)
+	vc, _ := CountVertexCovers(g)
+	if is.Cmp(vc) != 0 {
+		t.Fatal("complement bijection violated")
+	}
+}
+
+func TestIndependentPairCounts(t *testing.T) {
+	// Single edge between one left and one right node.
+	b := NewBipartite(1, 1)
+	b.MustAddEdge(0, 0)
+	z, err := IndependentPairCounts(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, z[0][0], 1, "Z[0][0]")
+	eqInt(t, z[1][0], 1, "Z[1][0]")
+	eqInt(t, z[0][1], 1, "Z[0][1]")
+	eqInt(t, z[1][1], 0, "Z[1][1]")
+	total, err := CountIndependentSetsBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, total, 3, "#BIS of single edge")
+}
+
+func TestBISMatchesGeneralIS(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := RandomBipartite(1+r.Intn(5), 1+r.Intn(5), 0.4, r)
+		viaB, err1 := CountIndependentSetsBipartite(b)
+		viaG, err2 := CountIndependentSets(b.AsGraph())
+		return err1 == nil && err2 == nil && viaB.Cmp(viaG) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsHamiltonian(t *testing.T) {
+	if !IsHamiltonian(Cycle(5)) || !IsHamiltonian(Complete(4)) {
+		t.Error("cycles and complete graphs are Hamiltonian")
+	}
+	if IsHamiltonian(Path(4)) {
+		t.Error("paths are not Hamiltonian")
+	}
+	if IsHamiltonian(Path(2)) || IsHamiltonian(NewGraph(1)) {
+		t.Error("graphs on <3 nodes are not Hamiltonian")
+	}
+	if IsHamiltonian(Petersen()) {
+		t.Error("the Petersen graph is famously not Hamiltonian")
+	}
+}
+
+func TestCountHamiltonianInducedSubgraphs(t *testing.T) {
+	// In K4 every subset of size 3 or 4 induces a Hamiltonian graph.
+	k4 := Complete(4)
+	h3, err := CountHamiltonianInducedSubgraphs(k4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, h3, 4, "Hamiltonian 3-subsets of K4")
+	h4, _ := CountHamiltonianInducedSubgraphs(k4, 4)
+	eqInt(t, h4, 1, "Hamiltonian 4-subsets of K4")
+	h2, _ := CountHamiltonianInducedSubgraphs(k4, 2)
+	eqInt(t, h2, 0, "Hamiltonian 2-subsets")
+	hneg, _ := CountHamiltonianInducedSubgraphs(k4, -1)
+	eqInt(t, hneg, 0, "negative k")
+	// C5: only the full subset induces a Hamiltonian graph.
+	c5 := Cycle(5)
+	h5, _ := CountHamiltonianInducedSubgraphs(c5, 5)
+	eqInt(t, h5, 1, "C5 full subset")
+	h3c, _ := CountHamiltonianInducedSubgraphs(c5, 3)
+	eqInt(t, h3c, 0, "C5 3-subsets")
+}
+
+func TestAvoidingAssignments(t *testing.T) {
+	// Triangle: each node picks an incident edge (2 choices); avoiding
+	// assignments are those where all three picks are distinct. Total 8;
+	// non-avoiding: some edge picked twice. Count by hand: assignments
+	// correspond to orientations; avoiding = each edge used at most once =
+	// perfect matchings between nodes and edges = 2 (the two rotations).
+	tri := NewMultigraph(3)
+	tri.MustAddEdge(0, 1)
+	tri.MustAddEdge(1, 2)
+	tri.MustAddEdge(0, 2)
+	av, err := tri.CountAvoidingAssignments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, av, 2, "avoiding assignments of triangle")
+	nonAv, _ := tri.CountNonAvoidingAssignments()
+	eqInt(t, nonAv, 6, "non-avoiding assignments of triangle")
+
+	// Two nodes joined by two parallel edges: assignments 2×2=4; avoiding
+	// ones are the 2 with distinct picks.
+	par := NewMultigraph(2)
+	par.MustAddEdge(0, 1)
+	par.MustAddEdge(0, 1)
+	av2, _ := par.CountAvoidingAssignments()
+	eqInt(t, av2, 2, "avoiding assignments of doubled edge")
+
+	// A node of degree zero admits no assignment.
+	iso := NewMultigraph(2)
+	avIso, _ := iso.CountAvoidingAssignments()
+	eqInt(t, avIso, 0, "isolated nodes admit no assignment")
+}
+
+func TestMultigraphErrors(t *testing.T) {
+	m := NewMultigraph(2)
+	if err := m.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := m.AddEdge(0, 5); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+// TestSubdivisionIdentity verifies Proposition A.8's counting identity
+// #Avoidance(G') = 2^(|E|-|V|)·#Avoidance(G) on 3-regular multigraphs.
+func TestSubdivisionIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		mg, err := RandomThreeRegularMultigraph(4, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mg.IsRegular(3) {
+			t.Fatal("generator not 3-regular")
+		}
+		avG, err := mg.CountAvoidingAssignments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := mg.Subdivide()
+		avSub, err := CountAvoidingAssignmentsGraph(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factor := new(big.Int).Lsh(big.NewInt(1), uint(len(mg.Edges)-mg.N))
+		want := new(big.Int).Mul(factor, avG)
+		if avSub.Cmp(want) != 0 {
+			t.Fatalf("identity violated: #Av(G')=%v, want %v (#Av(G)=%v)", avSub, want, avG)
+		}
+	}
+}
+
+func TestIsPseudoforestSubset(t *testing.T) {
+	// A triangle is a pseudoforest (one cycle); two triangles sharing a
+	// node are not (their component has 6 edges > 5 nodes).
+	tri := Cycle(3)
+	if !IsPseudoforestSubset(tri, AllEdgeIndices(tri)) {
+		t.Error("triangle should be a pseudoforest")
+	}
+	g := NewGraph(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 0)
+	if IsPseudoforestSubset(g, AllEdgeIndices(g)) {
+		t.Error("two cycles through one node are not a pseudoforest")
+	}
+	if !IsPseudoforestSubset(g, []int{0, 1, 2, 3, 4}) {
+		t.Error("dropping one edge of the second cycle gives a pseudoforest")
+	}
+}
+
+// TestOrientationLemma exercises Lemma B.4: a graph is a pseudoforest iff it
+// has an orientation with maximum outdegree one.
+func TestOrientationLemma(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Random(2+r.Intn(6), 0.5, r)
+		if g.M() > 20 {
+			return true
+		}
+		isPF := IsPseudoforestSubset(g, AllEdgeIndices(g))
+		hasOrient, err := HasOrientationMaxOutdegreeOne(g)
+		return err == nil && isPF == hasOrient
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountPseudoforestSubsets(t *testing.T) {
+	// Every subset of a triangle's edges is a pseudoforest: 8.
+	got, err := CountPseudoforestSubsets(Cycle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqInt(t, got, 8, "#PF of triangle")
+	// Trees: all subsets are forests, hence pseudoforests: 2^M.
+	got2, _ := CountPseudoforestSubsets(Path(5))
+	eqInt(t, got2, 16, "#PF of P5")
+}
+
+// TestPseudoforestCountAgainstNaive cross-checks the pruned DFS against
+// direct enumeration of all edge subsets.
+func TestPseudoforestCountAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Random(2+r.Intn(5), 0.6, r)
+		if g.M() > 12 {
+			return true
+		}
+		want := int64(0)
+		for mask := 0; mask < 1<<uint(g.M()); mask++ {
+			var subset []int
+			for e := 0; e < g.M(); e++ {
+				if mask&(1<<uint(e)) != 0 {
+					subset = append(subset, e)
+				}
+			}
+			if IsPseudoforestSubset(g, subset) {
+				want++
+			}
+		}
+		got, err := CountPseudoforestSubsets(g)
+		return err == nil && got.Cmp(big.NewInt(want)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBicircularRank(t *testing.T) {
+	// Triangle: all 3 edges form a pseudoforest -> rank 3.
+	if rk := BicircularRank(Cycle(3)); rk != 3 {
+		t.Fatalf("rank of triangle = %d", rk)
+	}
+	// Theta graph (two nodes, would need multi-edges) — use two triangles
+	// sharing a node: 6 edges, max pseudoforest 5.
+	g := NewGraph(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 0)
+	if rk := BicircularRank(g); rk != 5 {
+		t.Fatalf("rank = %d, want 5", rk)
+	}
+}
+
+func TestBicircularTutteAtTwoOne(t *testing.T) {
+	// T(B(G);2,1) = number of pseudoforest subsets (Observation B.8).
+	g := Random(5, 0.5, rand.New(rand.NewSource(3)))
+	tutte, err := BicircularTutteX1(g, big.NewRat(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _ := CountPseudoforestSubsets(g)
+	if tutte.Cmp(new(big.Rat).SetInt(pf)) != 0 {
+		t.Fatalf("T(B(G);2,1) = %v, #PF = %v", tutte, pf)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	g := Cycle(3)
+	s2, err := Stretch(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N() != 6 || s2.M() != 6 {
+		t.Fatalf("2-stretch of C3: N=%d M=%d", s2.N(), s2.M())
+	}
+	if !IsKColorable(s2, 2) {
+		t.Error("even stretch should be bipartite")
+	}
+	s1, _ := Stretch(g, 1)
+	if s1.N() != 3 || s1.M() != 3 {
+		t.Error("1-stretch should copy the graph")
+	}
+	if _, err := Stretch(g, 0); err == nil {
+		t.Error("stretch factor 0 accepted")
+	}
+}
+
+// TestStretchTutteIdentity verifies the Brylawski identity used in
+// Appendix B.5: T(B(s_k(G)); 2, 1) = (2^k − 1)^(|E| − rk) · T(B(G); 2^k, 1).
+func TestStretchTutteIdentity(t *testing.T) {
+	graphsUnderTest := []*Graph{
+		Cycle(3),
+		Path(4),
+		func() *Graph {
+			g := NewGraph(4)
+			g.MustAddEdge(0, 1)
+			g.MustAddEdge(1, 2)
+			g.MustAddEdge(2, 0)
+			g.MustAddEdge(2, 3)
+			return g
+		}(),
+	}
+	for _, g := range graphsUnderTest {
+		for _, k := range []int{2, 3} {
+			sk, err := Stretch(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lhsInt, err := CountPseudoforestSubsets(sk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lhs := new(big.Rat).SetInt(lhsInt)
+			twoK := big.NewRat(int64(1<<uint(k)), 1)
+			rhs, err := BicircularTutteX1(g, twoK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exp := g.M() - BicircularRank(g)
+			factor := big.NewRat(1, 1)
+			base := big.NewRat(int64(1<<uint(k)-1), 1)
+			for i := 0; i < exp; i++ {
+				factor.Mul(factor, base)
+			}
+			rhs.Mul(rhs, factor)
+			if lhs.Cmp(rhs) != 0 {
+				t.Errorf("stretch identity failed for %v k=%d: lhs=%v rhs=%v", g, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBipartiteBasics(t *testing.T) {
+	b := NewBipartite(2, 3)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(0, 2) // dup ignored
+	if len(b.Edges()) != 1 {
+		t.Fatal("duplicate edge not ignored")
+	}
+	if !b.HasEdge(0, 2) || b.HasEdge(1, 1) || b.HasEdge(-1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if err := b.AddEdge(5, 0); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	g := b.AsGraph()
+	if g.N() != 5 || !g.HasEdge(0, 4) {
+		t.Fatal("AsGraph wrong")
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	g := Path(3)
+	c := g.Clone()
+	c.MustAddEdge(0, 2)
+	if g.M() != 2 || c.M() != 3 {
+		t.Fatal("clone not independent")
+	}
+	if g.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,316 @@
+// Package reductions implements, as executable constructions, every
+// hardness reduction of Arenas, Barceló and Monet, "Counting Problems over
+// Incomplete Databases" (PODS 2020): Propositions 3.4, 3.5, 3.8, 3.11, 4.2,
+// 4.5(a), 4.5(b) and 5.6, and Theorems 6.3 and 6.4. Each construction
+// returns the incomplete database (and query) of the reduction together
+// with a Recover function mapping the database count back to the source
+// quantity, so the tests can validate the reduction against an independent
+// exact counter for the source problem.
+package reductions
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/incompletedb/incompletedb/internal/combinat"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/graphs"
+)
+
+// Reduction packages the output of one of the paper's reductions: an
+// incomplete database, the (fixed) query of the target counting problem,
+// and the arithmetic recovering the source quantity from the target count.
+type Reduction struct {
+	// DB is the constructed incomplete database.
+	DB *core.Database
+	// Query is the target problem's Boolean query.
+	Query cq.Query
+	// Recover maps the target count (#Val or #Comp of Query on DB,
+	// depending on the reduction) to the source quantity.
+	Recover func(count *big.Int) *big.Int
+	// Source and Target describe the reduction for reporting.
+	Source, Target string
+	// Reference cites the paper.
+	Reference string
+}
+
+func nodeConst(v int) string { return fmt.Sprintf("n%d", v) }
+func edgeConst(e int) string { return fmt.Sprintf("e%d", e) }
+
+// ThreeColoringToVal builds the reduction of Proposition 3.4:
+// #3COL(G) = (total valuations) − #Valu(R(x,x))(D), where D has one null
+// per node over the fixed domain {1,2,3} and facts R(⊥u,⊥v), R(⊥v,⊥u) per
+// edge.
+func ThreeColoringToVal(g *graphs.Graph) *Reduction {
+	db := core.NewUniformDatabase([]string{"1", "2", "3"})
+	for _, e := range g.Edges() {
+		u, v := core.Null(core.NullID(e[0]+1)), core.Null(core.NullID(e[1]+1))
+		db.MustAddFact("R", u, v)
+		db.MustAddFact("R", v, u)
+	}
+	total := combinat.PowInt(3, len(db.Nulls()))
+	// Isolated nodes have no null but contribute a free factor of 3 each.
+	isolated := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			isolated++
+		}
+	}
+	freeFactor := combinat.PowInt(3, isolated)
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x, x)"),
+		Recover: func(val *big.Int) *big.Int {
+			out := new(big.Int).Sub(total, val)
+			return out.Mul(out, freeFactor)
+		},
+		Source:    "#3-colorings",
+		Target:    "#Valu(R(x,x))",
+		Reference: "Proposition 3.4",
+	}
+}
+
+// AvoidanceToValCodd builds the reduction of Proposition 3.5 from
+// #Avoidance on bipartite graphs: one null per node whose domain is its set
+// of incident edges, facts R(⊥u) for left nodes and S(⊥v) for right nodes.
+// #ValCd(R(x) ∧ S(x))(D) counts exactly the non-avoiding assignments, so
+// #Avoidance(G) = (total valuations) − #ValCd(q)(D).
+func AvoidanceToValCodd(b *graphs.Bipartite) *Reduction {
+	db := core.NewDatabase()
+	next := core.NullID(1)
+	total := big.NewInt(1)
+	addNode := func(rel string, incident []int) {
+		dom := make([]string, len(incident))
+		for i, e := range incident {
+			dom[i] = edgeConst(e)
+		}
+		db.MustAddFact(rel, core.Null(next))
+		db.SetDomain(next, dom)
+		total.Mul(total, big.NewInt(int64(len(dom))))
+		next++
+	}
+	edges := b.Edges()
+	for l := 0; l < b.NL; l++ {
+		var inc []int
+		for i, e := range edges {
+			if e[0] == l {
+				inc = append(inc, i)
+			}
+		}
+		addNode("R", inc)
+	}
+	for r := 0; r < b.NR; r++ {
+		var inc []int
+		for i, e := range edges {
+			if e[1] == r {
+				inc = append(inc, i)
+			}
+		}
+		addNode("S", inc)
+	}
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x) ∧ S(x)"),
+		Recover: func(val *big.Int) *big.Int {
+			return new(big.Int).Sub(total, val)
+		},
+		Source:    "#Avoidance (avoiding assignments)",
+		Target:    "#ValCd(R(x) ∧ S(x))",
+		Reference: "Proposition 3.5",
+	}
+}
+
+// IndependentSetsToValPath builds the first reduction of Proposition 3.8:
+// #IS(G) = 2^|V| − #Valu(R(x) ∧ S(x,y) ∧ T(y))(D) over the fixed domain
+// {0,1}.
+func IndependentSetsToValPath(g *graphs.Graph) *Reduction {
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for _, e := range g.Edges() {
+		u, v := core.Null(core.NullID(e[0]+1)), core.Null(core.NullID(e[1]+1))
+		db.MustAddFact("S", u, v)
+		db.MustAddFact("S", v, u)
+	}
+	db.MustAddFact("R", core.Const("1"))
+	db.MustAddFact("T", core.Const("1"))
+	pow := combinat.PowInt(2, g.N())
+	free := combinat.PowInt(2, g.N()-len(db.Nulls())) // isolated nodes
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x) ∧ S(x, y) ∧ T(y)"),
+		Recover: func(val *big.Int) *big.Int {
+			scaled := new(big.Int).Mul(val, free)
+			return new(big.Int).Sub(pow, scaled)
+		},
+		Source:    "#IS (independent sets)",
+		Target:    "#Valu(R(x) ∧ S(x,y) ∧ T(y))",
+		Reference: "Proposition 3.8",
+	}
+}
+
+// IndependentSetsToValRxySxy builds the second reduction of
+// Proposition 3.8: #IS(G) = 2^|V| − #Valu(R(x,y) ∧ S(x,y))(D), encoding the
+// graph in S and adding the single fact R(1,1).
+func IndependentSetsToValRxySxy(g *graphs.Graph) *Reduction {
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for _, e := range g.Edges() {
+		u, v := core.Null(core.NullID(e[0]+1)), core.Null(core.NullID(e[1]+1))
+		db.MustAddFact("S", u, v)
+		db.MustAddFact("S", v, u)
+	}
+	db.MustAddFact("R", core.Const("1"), core.Const("1"))
+	pow := combinat.PowInt(2, g.N())
+	free := combinat.PowInt(2, g.N()-len(db.Nulls()))
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x, y) ∧ S(x, y)"),
+		Recover: func(val *big.Int) *big.Int {
+			scaled := new(big.Int).Mul(val, free)
+			return new(big.Int).Sub(pow, scaled)
+		},
+		Source:    "#IS (independent sets)",
+		Target:    "#Valu(R(x,y) ∧ S(x,y))",
+		Reference: "Proposition 3.8",
+	}
+}
+
+// VertexCoversToCompCodd builds the parsimonious reduction of
+// Proposition 4.2: #VC(G) = #CompCd(R(x))(D), with one null per edge over
+// its two endpoints, one null per node over {node, a}, and the fact R(a).
+func VertexCoversToCompCodd(g *graphs.Graph) *Reduction {
+	db := core.NewDatabase()
+	next := core.NullID(1)
+	for _, e := range g.Edges() {
+		db.MustAddFact("R", core.Null(next))
+		db.SetDomain(next, []string{nodeConst(e[0]), nodeConst(e[1])})
+		next++
+	}
+	for v := 0; v < g.N(); v++ {
+		db.MustAddFact("R", core.Null(next))
+		db.SetDomain(next, []string{nodeConst(v), "a"})
+		next++
+	}
+	db.MustAddFact("R", core.Const("a"))
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x)"),
+		Recover: func(comp *big.Int) *big.Int {
+			return new(big.Int).Set(comp)
+		},
+		Source:    "#VC (vertex covers; equals #IS by complementation)",
+		Target:    "#CompCd(R(x))",
+		Reference: "Proposition 4.2",
+	}
+}
+
+// IndependentSetsToCompUniform builds the reduction of Proposition 4.5(a):
+// #Compu(q)(D) = 2^|V| + #IS(G) over the fixed domain {0,1}, for q being
+// either R(x,x) or R(x,y) (every completion satisfies both).
+func IndependentSetsToCompUniform(g *graphs.Graph) *Reduction {
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	nodeNull := func(v int) core.Value { return core.Null(core.NullID(v + 1)) }
+	for v := 0; v < g.N(); v++ {
+		db.MustAddFact("R", core.Const(nodeConst(v)), nodeNull(v))
+	}
+	for _, e := range g.Edges() {
+		db.MustAddFact("R", nodeNull(e[0]), nodeNull(e[1]))
+		db.MustAddFact("R", nodeNull(e[1]), nodeNull(e[0]))
+	}
+	db.MustAddFact("R", core.Const("0"), core.Const("0"))
+	db.MustAddFact("R", core.Const("0"), core.Const("1"))
+	db.MustAddFact("R", core.Const("1"), core.Const("0"))
+	fresh := core.NullID(g.N() + 1)
+	db.MustAddFact("R", core.Null(fresh), core.Null(fresh))
+	pow := combinat.PowInt(2, g.N())
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x, x)"),
+		Recover: func(comp *big.Int) *big.Int {
+			return new(big.Int).Sub(comp, pow)
+		},
+		Source:    "#IS (independent sets)",
+		Target:    "#Compu(R(x,x)) − 2^|V|",
+		Reference: "Proposition 4.5(a)",
+	}
+}
+
+// PseudoforestsToCompUniformCodd builds the reduction of
+// Proposition 4.5(b): #PF(G) = #CompuCd(q)(D) for a bipartite graph G,
+// where D is a uniform Codd table over one binary relation and q is R(x,x)
+// or R(x,y).
+func PseudoforestsToCompUniformCodd(b *graphs.Bipartite) *Reduction {
+	n := b.NL + b.NR
+	dom := make([]string, n)
+	for i := range dom {
+		dom[i] = nodeConst(i)
+	}
+	db := core.NewUniformDatabase(dom)
+	// Complementary facts: all ordered pairs over U ⊔ V that are not an
+	// edge, where the paper's E is the set of ORDERED pairs (u, v) with
+	// u ∈ U, v ∈ V — so the reversed pair (v, u) of an edge is itself a
+	// complementary fact. Right node r is represented as node NL+r.
+	isEdge := func(x, y int) bool {
+		return x < b.NL && y >= b.NL && b.HasEdge(x, y-b.NL)
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if !isEdge(x, y) {
+				db.MustAddFact("R", core.Const(nodeConst(x)), core.Const(nodeConst(y)))
+			}
+		}
+	}
+	next := core.NullID(1)
+	for u := 0; u < b.NL; u++ {
+		db.MustAddFact("R", core.Const(nodeConst(u)), core.Null(next))
+		next++
+	}
+	for r := 0; r < b.NR; r++ {
+		db.MustAddFact("R", core.Null(next), core.Const(nodeConst(b.NL+r)))
+		next++
+	}
+	db.MustAddFact("R", core.Const("f"), core.Const("f"))
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x, x)"),
+		Recover: func(comp *big.Int) *big.Int {
+			return new(big.Int).Set(comp)
+		},
+		Source:    "#PF (pseudoforest edge subsets)",
+		Target:    "#CompuCd(R(x,x))",
+		Reference: "Proposition 4.5(b)",
+	}
+}
+
+// ColorabilityGadget builds the database of Proposition 5.6: a uniform
+// naïve table over one binary relation and the fixed domain {1,2,3} whose
+// completion count is 8 if G is 3-colorable and 7 otherwise — the gadget
+// showing #Compu admits no FPRAS unless NP = RP.
+func ColorabilityGadget(g *graphs.Graph) *Reduction {
+	db := core.NewUniformDatabase([]string{"1", "2", "3"})
+	nodeNull := func(v int) core.Value { return core.Null(core.NullID(v + 1)) }
+	for _, e := range g.Edges() {
+		db.MustAddFact("R", nodeNull(e[0]), nodeNull(e[1]))
+		db.MustAddFact("R", nodeNull(e[1]), nodeNull(e[0]))
+	}
+	for _, p := range [][2]string{{"1", "2"}, {"2", "1"}, {"2", "3"}, {"3", "2"}, {"1", "3"}, {"3", "1"}} {
+		db.MustAddFact("R", core.Const(p[0]), core.Const(p[1]))
+	}
+	base := core.NullID(g.N() + 1)
+	for i := 0; i < 3; i++ {
+		a, ap := core.Null(base+core.NullID(2*i)), core.Null(base+core.NullID(2*i+1))
+		db.MustAddFact("R", a, ap)
+		db.MustAddFact("R", ap, a)
+	}
+	db.MustAddFact("R", core.Const("c"), core.Const("c"))
+	return &Reduction{
+		DB:    db,
+		Query: cq.MustParseBCQ("R(x, x)"),
+		Recover: func(comp *big.Int) *big.Int {
+			// 1 iff 3-colorable: #Comp − 7.
+			return new(big.Int).Sub(comp, big.NewInt(7))
+		},
+		Source:    "3-colorability (1 or 0)",
+		Target:    "#Compu(R(x,x)) − 7",
+		Reference: "Proposition 5.6",
+	}
+}

@@ -1,0 +1,294 @@
+package reductions
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/incompletedb/incompletedb/internal/cnf"
+	"github.com/incompletedb/incompletedb/internal/combinat"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/graphs"
+)
+
+// ---------------------------------------------------------------------------
+// Proposition 3.11: #BIS via a linear system of #ValuCd oracle calls.
+// ---------------------------------------------------------------------------
+
+// ValOracle answers #Val-type counting queries; the tests pass brute force,
+// demonstrating the Turing reduction of Proposition 3.11 end to end.
+type ValOracle func(db *core.Database, q *cq.BCQ) (*big.Int, error)
+
+// BISViaLinearSystem computes the number of independent sets of the
+// bipartite graph by the Turing reduction of Proposition 3.11: it builds
+// (n+1)² uniform Codd databases D_{a,b}, queries the oracle for
+// #ValuCd(R(x) ∧ S(x,y) ∧ T(y)) on each, forms the linear system
+// C = (surj ⊗ surj)·Z over the independent-pair counts Z_{i,j}, solves it
+// exactly, and returns Σ Z_{i,j}.
+func BISViaLinearSystem(b *graphs.Bipartite, oracle ValOracle) (*big.Int, error) {
+	// Pad the smaller side with isolated nodes so that |X| = |Y| = n; each
+	// isolated node doubles the number of independent sets.
+	n := b.NL
+	if b.NR > n {
+		n = b.NR
+	}
+	pad := (n - b.NL) + (n - b.NR)
+	if n == 0 {
+		return big.NewInt(1), nil // the empty graph has one (empty) independent set
+	}
+	q := cq.MustParseBCQ("R(x) ∧ S(x, y) ∧ T(y)")
+
+	dom := make([]string, n)
+	for i := range dom {
+		dom[i] = fmt.Sprintf("a%d", i+1)
+	}
+	buildDB := func(a, bb int) *core.Database {
+		db := core.NewUniformDatabase(dom)
+		for _, e := range b.Edges() {
+			db.MustAddFact("S", core.Const(dom[e[0]]), core.Const(dom[e[1]]))
+		}
+		next := core.NullID(1)
+		for i := 0; i < a; i++ {
+			db.MustAddFact("R", core.Null(next))
+			next++
+		}
+		for j := 0; j < bb; j++ {
+			db.MustAddFact("T", core.Null(next))
+			next++
+		}
+		return db
+	}
+
+	// C_{a,b} = n^{a+b} − #ValuCd(q)(D_{a,b}).
+	dim := (n + 1) * (n + 1)
+	cvec := make([]*big.Rat, dim)
+	for a := 0; a <= n; a++ {
+		for bb := 0; bb <= n; bb++ {
+			db := buildDB(a, bb)
+			sat, err := oracle(db, q)
+			if err != nil {
+				return nil, fmt.Errorf("reductions: oracle failed on D_{%d,%d}: %w", a, bb, err)
+			}
+			total := combinat.PowInt(int64(n), a+bb)
+			c := new(big.Int).Sub(total, sat)
+			cvec[a*(n+1)+bb] = new(big.Rat).SetInt(c)
+		}
+	}
+	// A_{(a,b),(i,j)} = surj(a→i)·surj(b→j).
+	mat := make([][]*big.Rat, dim)
+	for a := 0; a <= n; a++ {
+		for bb := 0; bb <= n; bb++ {
+			row := make([]*big.Rat, dim)
+			for i := 0; i <= n; i++ {
+				for j := 0; j <= n; j++ {
+					v := new(big.Int).Mul(combinat.Surjections(a, i), combinat.Surjections(bb, j))
+					row[i*(n+1)+j] = new(big.Rat).SetInt(v)
+				}
+			}
+			mat[a*(n+1)+bb] = row
+		}
+	}
+	z, err := combinat.SolveRatSystem(mat, cvec)
+	if err != nil {
+		return nil, fmt.Errorf("reductions: surjection system: %w", err)
+	}
+	sum := new(big.Rat)
+	for _, zi := range z {
+		sum.Add(sum, zi)
+	}
+	total, ok := combinat.RatIsInt(sum)
+	if !ok {
+		return nil, fmt.Errorf("reductions: non-integral #BIS %v", sum)
+	}
+	// Undo the padding: each padding node doubled the count.
+	if pad > 0 {
+		den := combinat.PowInt(2, pad)
+		rem := new(big.Int)
+		total.QuoRem(total, den, rem)
+		if rem.Sign() != 0 {
+			return nil, fmt.Errorf("reductions: padding factor does not divide the count")
+		}
+	}
+	return total, nil
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6.3: #k3SAT = #Compu(¬q) for a fixed sjfBCQ q.
+// ---------------------------------------------------------------------------
+
+// k3satRelName names the ternary relation C_abc.
+func k3satRelName(a, b, c int) string { return fmt.Sprintf("C%d%d%d", a, b, c) }
+
+// K3SATQuery returns the fixed sjfBCQ q of Equation (8) in Theorem 6.3:
+// S(xs, ys) ∧ ⋀_{(a,b,c) ∈ {0,1}³} C_abc(x, y, z).
+func K3SATQuery() *cq.BCQ {
+	atoms := []cq.Atom{{Rel: "S", Vars: []string{"xs", "ys"}}}
+	for a := 0; a <= 1; a++ {
+		for b := 0; b <= 1; b++ {
+			for c := 0; c <= 1; c++ {
+				atoms = append(atoms, cq.Atom{Rel: k3satRelName(a, b, c), Vars: []string{"x", "y", "z"}})
+			}
+		}
+	}
+	return &cq.BCQ{Atoms: atoms}
+}
+
+// K3SATToCompNeg builds the parsimonious reduction of Theorem 6.3:
+// #k3SAT(F, k) = #Compu(¬q)(D) where q = K3SATQuery(). The database D has
+// one null per propositional variable over the fixed domain {0,1}; each
+// relation C_abc holds the seven tuples agreeing with (a,b,c) in some
+// position, each clause adds its null tuple to the relation matching its
+// signs, and S pairs the first k variables with position constants so that
+// completions are distinguished exactly by those variables.
+func K3SATToCompNeg(f *cnf.Formula, k int) (*Reduction, error) {
+	if k < 1 || k > f.NumVars {
+		return nil, fmt.Errorf("reductions: prefix length %d out of range 1..%d", k, f.NumVars)
+	}
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for a := 0; a <= 1; a++ {
+		for b := 0; b <= 1; b++ {
+			for c := 0; c <= 1; c++ {
+				rel := k3satRelName(a, b, c)
+				for ap := 0; ap <= 1; ap++ {
+					for bp := 0; bp <= 1; bp++ {
+						for cp := 0; cp <= 1; cp++ {
+							if a == ap || b == bp || c == cp {
+								db.MustAddFact(rel,
+									core.Const(fmt.Sprint(ap)),
+									core.Const(fmt.Sprint(bp)),
+									core.Const(fmt.Sprint(cp)))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	varNull := func(v int) core.Value { return core.Null(core.NullID(v)) } // variables are 1-based
+	for _, cl := range f.Clauses {
+		signs := [3]int{}
+		args := make([]core.Value, 3)
+		for i, l := range cl {
+			if l.Positive() {
+				signs[i] = 1
+			}
+			args[i] = varNull(l.Var())
+		}
+		db.MustAddFact(k3satRelName(signs[0], signs[1], signs[2]), args...)
+	}
+	for i := 1; i <= k; i++ {
+		db.MustAddFact("S", core.Const(fmt.Sprintf("p%d", i)), varNull(i))
+	}
+	return &Reduction{
+		DB:    db,
+		Query: &cq.Negation{Inner: K3SATQuery()},
+		Recover: func(comp *big.Int) *big.Int {
+			return new(big.Int).Set(comp)
+		},
+		Source:    fmt.Sprintf("#k3SAT with k=%d", k),
+		Target:    "#Compu(¬q)",
+		Reference: "Theorem 6.3",
+	}, nil
+}
+
+// PadForK3SATQuery implements the padding of Lemma D.1: adding the facts
+// S(f,f) and C_abc(f,f,f) for a fresh constant f yields a database D' with
+// #Compu(σ)(D) = #Compu(q)(D'), since every completion of D' satisfies q
+// and completions correspond one-to-one.
+func PadForK3SATQuery(db *core.Database) (*core.Database, error) {
+	const fresh = "fpad"
+	out := db.Clone()
+	for _, f := range db.Facts() {
+		for _, arg := range f.Args {
+			if !arg.IsNull() && arg.Constant() == fresh {
+				return nil, fmt.Errorf("reductions: constant %q already occurs in the database", fresh)
+			}
+		}
+	}
+	if err := out.AddFact("S", core.Const(fresh), core.Const(fresh)); err != nil {
+		return nil, err
+	}
+	for a := 0; a <= 1; a++ {
+		for b := 0; b <= 1; b++ {
+			for c := 0; c <= 1; c++ {
+				if err := out.AddFact(k3satRelName(a, b, c), core.Const(fresh), core.Const(fresh), core.Const(fresh)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6.4: #HamSubgraphs = #Valu(q) for a query with NP model checking.
+// ---------------------------------------------------------------------------
+
+// HamSubgraphsQuery returns the existential second-order Boolean query of
+// Theorem 6.4, implemented directly as a model-checking function: it holds
+// in an instance iff the set S = {v : T(v,1)} has exactly |K| elements and
+// the subgraph of the R-relation induced by S is Hamiltonian.
+func HamSubgraphsQuery() cq.Query {
+	return &cq.Func{
+		Name: "∃S (|S| = |K| ∧ S = {v : T(v,1)} ∧ Hamiltonian(R[S]))",
+		F: func(inst *core.Instance) bool {
+			want := len(inst.Tuples("K"))
+			var nodes []string
+			for _, t := range inst.Tuples("T") {
+				if len(t) == 2 && t[1] == "1" {
+					nodes = append(nodes, t[0])
+				}
+			}
+			if len(nodes) != want {
+				return false
+			}
+			idx := make(map[string]int, len(nodes))
+			for i, v := range nodes {
+				idx[v] = i
+			}
+			g := graphs.NewGraph(len(nodes))
+			for _, t := range inst.Tuples("R") {
+				if len(t) != 2 || t[0] == t[1] {
+					continue
+				}
+				i, ok1 := idx[t[0]]
+				j, ok2 := idx[t[1]]
+				if ok1 && ok2 {
+					g.MustAddEdge(i, j)
+				}
+			}
+			return graphs.IsHamiltonian(g)
+		},
+	}
+}
+
+// HamSubgraphsToVal builds the parsimonious reduction of Theorem 6.4:
+// #HamSubgraphs(G, k) = #Valu(q)(D) where q = HamSubgraphsQuery(). D holds
+// the graph as constants in R, one {0,1}-null per node in T, and k facts in
+// K; valuations correspond to node subsets.
+func HamSubgraphsToVal(g *graphs.Graph, k int) (*Reduction, error) {
+	if k < 0 || k > g.N() {
+		return nil, fmt.Errorf("reductions: subset size %d out of range 0..%d", k, g.N())
+	}
+	db := core.NewUniformDatabase([]string{"0", "1"})
+	for _, e := range g.Edges() {
+		db.MustAddFact("R", core.Const(nodeConst(e[0])), core.Const(nodeConst(e[1])))
+		db.MustAddFact("R", core.Const(nodeConst(e[1])), core.Const(nodeConst(e[0])))
+	}
+	for v := 0; v < g.N(); v++ {
+		db.MustAddFact("T", core.Const(nodeConst(v)), core.Null(core.NullID(v+1)))
+	}
+	for j := 1; j <= k; j++ {
+		db.MustAddFact("K", core.Const(fmt.Sprintf("k%d", j)))
+	}
+	return &Reduction{
+		DB:    db,
+		Query: HamSubgraphsQuery(),
+		Recover: func(val *big.Int) *big.Int {
+			return new(big.Int).Set(val)
+		},
+		Source:    fmt.Sprintf("#HamSubgraphs with k=%d", k),
+		Target:    "#Valu(q_∃SO)",
+		Reference: "Theorem 6.4",
+	}, nil
+}
