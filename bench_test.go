@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/incompletedb/incompletedb/internal/classify"
@@ -94,6 +95,10 @@ func BenchmarkValCoddExact(b *testing.B) {
 	}
 }
 
+// serialBrute pins the brute-force baselines to one worker so the scaling
+// figures stay comparable to the parallel variants below.
+var serialBrute = &count.Options{Workers: 1}
+
 func BenchmarkValCoddBrute(b *testing.B) {
 	q := cq.MustParseBCQ("R(x, x)")
 	for _, n := range []int{2, 4, 6} { // 9^n valuations
@@ -101,7 +106,7 @@ func BenchmarkValCoddBrute(b *testing.B) {
 			db := coddScalingDB(n)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := count.BruteForceValuations(db, q, nil); err != nil {
+				if _, err := count.BruteForceValuations(db, q, serialBrute); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -142,7 +147,7 @@ func BenchmarkValUniformBrute(b *testing.B) {
 			db := uniformScalingDB(n)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := count.BruteForceValuations(db, q, nil); err != nil {
+				if _, err := count.BruteForceValuations(db, q, serialBrute); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -174,7 +179,55 @@ func BenchmarkCompUniformBrute(b *testing.B) {
 			db := uniformScalingDB(n)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := count.BruteForceCompletions(db, q, nil); err != nil {
+				if _, err := count.BruteForceCompletions(db, q, serialBrute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E-PAR: sharded brute force, serial vs worker pool ----------------------
+//
+// The parallel variants ride the same scaling databases as the serial
+// figures above (n=6: 531441 valuations, past the engine's serial cutoff)
+// and record the first perf baseline of the sharded valuation-space
+// engine. On a single-core machine the workers>1 rows measure pure
+// sharding overhead.
+
+func bruteWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func BenchmarkValBruteParallel(b *testing.B) {
+	q := cq.MustParseBCQ("R(x, x)")
+	db := coddScalingDB(6) // 9^6 valuations
+	for _, w := range bruteWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := &count.Options{Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.BruteForceValuations(db, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompBruteParallel(b *testing.B) {
+	q := cq.MustParseBCQ("R(x) ∧ S(x)")
+	db := uniformScalingDB(6) // 3^12 valuations
+	for _, w := range bruteWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := &count.Options{Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := count.BruteForceCompletions(db, q, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -68,7 +68,7 @@ func usage() {
 commands:
   classify -q QUERY              classify an sjfBCQ under all eight variants (Table 1)
   table1                         print the dichotomy table of the paper
-  count -db FILE -q QUERY        count valuations/completions (-kind val|comp)
+  count -db FILE -q QUERY        count valuations/completions (-kind val|comp, -workers N)
   estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed)
   experiments [-quick] [-seed N] run the paper-reproduction experiment suite`)
 }
@@ -114,15 +114,19 @@ func cmdCount(args []string) error {
 	qstr := fs.String("q", "", "Boolean query")
 	kind := fs.String("kind", "val", "what to count: val | comp | all-comp")
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "brute-force guard (number of valuations)")
+	workers := fs.Int("workers", 0, "parallel workers for brute-force sweeps (0 = one per CPU, 1 = serial)")
 	fs.Parse(args)
 	if *dbPath == "" || (*qstr == "" && *kind != "all-comp") {
 		return fmt.Errorf("count: -db and -q are required")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("count: -workers must be ≥ 0, got %d", *workers)
 	}
 	db, err := loadDB(*dbPath)
 	if err != nil {
 		return err
 	}
-	opts := &incdb.CountOptions{MaxValuations: *maxVals}
+	opts := &incdb.CountOptions{MaxValuations: *maxVals, Workers: *workers}
 	switch *kind {
 	case "val":
 		q, err := incdb.ParseQuery(*qstr)

@@ -94,6 +94,28 @@ func TestCmdCount(t *testing.T) {
 	}
 }
 
+func TestCmdCountWorkers(t *testing.T) {
+	db := writeTestDB(t)
+	// Serial and parallel sweeps must print the same count. The table is
+	// Codd, so force brute force off the exact path with a -max... the
+	// dispatcher still picks an exact method; what matters here is that
+	// -workers parses and threads through without changing the result.
+	for _, w := range []string{"1", "4"} {
+		out, err := capture(t, func() error {
+			return cmdCount([]string{"-db", db, "-q", "S(x, x)", "-kind", "val", "-workers", w})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "= 5") {
+			t.Errorf("workers=%s output: %s", w, out)
+		}
+	}
+	if err := cmdCount([]string{"-db", db, "-q", "S(x, x)", "-workers", "-2"}); err == nil {
+		t.Error("negative -workers accepted")
+	}
+}
+
 func TestCmdEstimate(t *testing.T) {
 	db := writeTestDB(t)
 	out, err := capture(t, func() error {

@@ -1,0 +1,3 @@
+module github.com/incompletedb/incompletedb
+
+go 1.24

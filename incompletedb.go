@@ -13,7 +13,14 @@
 //   - the counting problems #Val(q) (valuations whose completion satisfies
 //     q) and #Comp(q) (distinct completions satisfying q), solved exactly
 //     by the paper's four polynomial-time algorithms on the tractable sides
-//     of Table 1 and by guarded brute force elsewhere;
+//     of Table 1 and by guarded brute force elsewhere — the brute-force
+//     sweep shards the valuation space across a worker pool
+//     (CountOptions.Workers, default one worker per CPU) and supports
+//     cancellation via CountOptions.Context, with results identical to a
+//     serial sweep;
+//   - an indexable valuation space (ValuationSpace) with O(#nulls) random
+//     access, the substrate for both sharded enumeration and uniform
+//     sampling;
 //   - the dichotomy classifier of Table 1, including approximability
 //     (Section 5) and the beyond-#P observations (Section 6);
 //   - a Karp–Luby FPRAS for #Val(q) over unions of BCQs (Corollary 5.3),
@@ -63,6 +70,9 @@ type (
 	NullID = core.NullID
 	// Valuation maps nulls to constants.
 	Valuation = core.Valuation
+	// ValuationSpace is an indexed, sliceable, uniformly samplable view of
+	// a database's valuations; obtain one with Database.ValuationSpace.
+	ValuationSpace = core.ValuationSpace
 )
 
 // Query types.
@@ -113,7 +123,10 @@ const (
 	OpenComplexity = classify.Open
 )
 
-// CountOptions configures counting (brute-force guards).
+// CountOptions configures counting: the brute-force guard
+// (MaxValuations), the size of the worker pool brute-force sweeps shard
+// the valuation space across (Workers; 0 means one worker per CPU), and
+// an optional cancellation Context.
 type CountOptions = count.Options
 
 // Method identifies the algorithm used to produce a count.

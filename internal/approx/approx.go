@@ -33,26 +33,19 @@ func MonteCarloValuations(db *core.Database, q cq.Query, samples int, r *rand.Ra
 	if samples <= 0 {
 		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
 	}
-	if err := db.Validate(); err != nil {
-		return nil, err
-	}
-	total, err := db.NumValuations()
+	space, err := db.ValuationSpace()
 	if err != nil {
 		return nil, err
 	}
-	nulls := db.Nulls()
-	doms := make([][]string, len(nulls))
-	for i, n := range nulls {
-		doms[i] = db.Domain(n)
-		if len(doms[i]) == 0 {
-			return &MonteCarloResult{Estimate: big.NewInt(0), Samples: samples}, nil
-		}
+	total := space.Size()
+	if total.Sign() == 0 {
+		return &MonteCarloResult{Estimate: big.NewInt(0), Samples: samples}, nil
 	}
 	sat := 0
-	v := make(core.Valuation, len(nulls))
+	var v core.Valuation
 	for s := 0; s < samples; s++ {
-		for i, n := range nulls {
-			v[n] = doms[i][r.Intn(len(doms[i]))]
+		if v, err = space.Sample(r, v); err != nil {
+			return nil, err
 		}
 		if q.Eval(db.Apply(v)) {
 			sat++
@@ -132,22 +125,18 @@ func CompletionsLowerBound(db *core.Database, q cq.Query, samples int, r *rand.R
 	if samples <= 0 {
 		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
 	}
-	if err := db.Validate(); err != nil {
+	space, err := db.ValuationSpace()
+	if err != nil {
 		return nil, err
 	}
-	nulls := db.Nulls()
-	doms := make([][]string, len(nulls))
-	for i, n := range nulls {
-		doms[i] = db.Domain(n)
-		if len(doms[i]) == 0 {
-			return big.NewInt(0), nil
-		}
+	if space.Size().Sign() == 0 {
+		return big.NewInt(0), nil
 	}
 	seen := make(map[string]bool)
-	v := make(core.Valuation, len(nulls))
+	var v core.Valuation
 	for s := 0; s < samples; s++ {
-		for i, n := range nulls {
-			v[n] = doms[i][r.Intn(len(doms[i]))]
+		if v, err = space.Sample(r, v); err != nil {
+			return nil, err
 		}
 		inst := db.Apply(v)
 		key := inst.CanonicalKey()

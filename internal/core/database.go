@@ -230,47 +230,16 @@ func (d *Database) NumValuations() (*big.Int, error) {
 }
 
 // ForEachValuation enumerates every valuation of the database and calls fn
-// with each. The Valuation passed to fn is reused between calls; fn must
-// copy it (Valuation.Clone) if it needs to retain it. Enumeration stops
-// early if fn returns false. It returns an error if some null lacks a
-// domain.
+// with each, in the index order of ValuationSpace. The Valuation passed to
+// fn is reused between calls; fn must copy it (Valuation.Clone) if it
+// needs to retain it. Enumeration stops early if fn returns false. It
+// returns an error if some null lacks a domain.
 func (d *Database) ForEachValuation(fn func(Valuation) bool) error {
-	if err := d.Validate(); err != nil {
+	s, err := d.ValuationSpace()
+	if err != nil {
 		return err
 	}
-	nulls := d.Nulls()
-	doms := make([][]string, len(nulls))
-	for i, n := range nulls {
-		doms[i] = d.Domain(n)
-		if len(doms[i]) == 0 {
-			return nil // zero valuations
-		}
-	}
-	idx := make([]int, len(nulls))
-	v := make(Valuation, len(nulls))
-	for {
-		for i, n := range nulls {
-			v[n] = doms[i][idx[i]]
-		}
-		if !fn(v) {
-			return nil
-		}
-		// Odometer increment.
-		i := len(idx) - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(doms[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i < 0 {
-			return nil
-		}
-		if len(idx) == 0 {
-			return nil // single empty valuation already visited
-		}
-	}
+	return s.Range(new(big.Int), s.size, fn)
 }
 
 // Apply returns the completion ν(D) of the database under valuation v: every

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// ValuationSpace is an indexed view of the valuation space of a database:
+// the set of all valuations ν mapping each null to a constant of its
+// domain, totally ordered in mixed radix. The nulls, sorted by ID, are the
+// digits of the index — the null with the largest ID is the
+// fastest-varying one — so index order coincides with the enumeration
+// order of Database.ForEachValuation. The space is a snapshot: mutating
+// the database afterwards does not affect it.
+//
+// Random access via At makes the space uniformly samplable in O(#nulls)
+// per draw, and Range makes any contiguous slice of it enumerable
+// independently of the rest, which is what allows brute-force counting to
+// be sharded across workers.
+type ValuationSpace struct {
+	nulls []NullID
+	doms  [][]string
+	size  *big.Int
+}
+
+// ValuationSpace returns the indexed valuation space of the database. It
+// returns an error if some null lacks a domain. A database with no nulls
+// has a space of size one (the empty valuation); a null with an empty
+// domain yields a space of size zero.
+func (d *Database) ValuationSpace() (*ValuationSpace, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	nulls := d.Nulls()
+	s := &ValuationSpace{
+		nulls: append([]NullID(nil), nulls...),
+		doms:  make([][]string, len(nulls)),
+		size:  big.NewInt(1),
+	}
+	for i, n := range nulls {
+		s.doms[i] = d.Domain(n)
+		s.size.Mul(s.size, big.NewInt(int64(len(s.doms[i]))))
+	}
+	return s, nil
+}
+
+// Size returns the number of valuations in the space: the product of the
+// domain sizes of the nulls.
+func (s *ValuationSpace) Size() *big.Int { return new(big.Int).Set(s.size) }
+
+// Nulls returns the nulls of the space, sorted by ID. The returned slice
+// must not be modified.
+func (s *ValuationSpace) Nulls() []NullID { return s.nulls }
+
+// At returns the valuation at index i, 0 ≤ i < Size().
+func (s *ValuationSpace) At(i *big.Int) (Valuation, error) {
+	v := make(Valuation, len(s.nulls))
+	if err := s.AtInto(i, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// AtInto decodes the valuation at index i into v, reusing v's storage. v
+// must already hold exactly the nulls of the space (or be empty on first
+// use with enough capacity).
+func (s *ValuationSpace) AtInto(i *big.Int, v Valuation) error {
+	if i.Sign() < 0 || i.Cmp(s.size) >= 0 {
+		return fmt.Errorf("core: valuation index %v out of range [0, %v)", i, s.size)
+	}
+	rem := new(big.Int).Set(i)
+	radix, digit := new(big.Int), new(big.Int)
+	for k := len(s.nulls) - 1; k >= 0; k-- {
+		radix.SetInt64(int64(len(s.doms[k])))
+		rem.QuoRem(rem, radix, digit)
+		v[s.nulls[k]] = s.doms[k][digit.Int64()]
+	}
+	return nil
+}
+
+// Sample returns a uniformly random valuation of the space, drawn in
+// O(#nulls) time without enumerating anything. Each mixed-radix digit is
+// drawn independently, which is the uniform distribution over the space
+// without any bignum arithmetic. It returns an error on an empty space.
+// The Valuation written into v is the one returned; pass a valuation
+// previously returned by Sample to avoid the allocation.
+func (s *ValuationSpace) Sample(r *rand.Rand, v Valuation) (Valuation, error) {
+	if s.size.Sign() == 0 {
+		return nil, fmt.Errorf("core: cannot sample an empty valuation space")
+	}
+	if v == nil {
+		v = make(Valuation, len(s.nulls))
+	}
+	for k, n := range s.nulls {
+		v[n] = s.doms[k][r.Intn(len(s.doms[k]))]
+	}
+	return v, nil
+}
+
+// Range enumerates the valuations with index in the half-open interval
+// [lo, hi), in index order, calling fn with each. The Valuation passed to
+// fn is reused between calls; fn must copy it (Valuation.Clone) if it
+// needs to retain it. Enumeration stops early if fn returns false. It
+// returns an error if the interval does not satisfy 0 ≤ lo ≤ hi ≤ Size().
+func (s *ValuationSpace) Range(lo, hi *big.Int, fn func(Valuation) bool) error {
+	if lo.Sign() < 0 || hi.Cmp(s.size) > 0 || lo.Cmp(hi) > 0 {
+		return fmt.Errorf("core: valuation range [%v, %v) outside [0, %v)", lo, hi, s.size)
+	}
+	n := new(big.Int).Sub(hi, lo)
+	if n.Sign() == 0 {
+		return nil
+	}
+	// Decode lo into the odometer digits.
+	idx := make([]int, len(s.nulls))
+	rem := new(big.Int).Set(lo)
+	radix, digit := new(big.Int), new(big.Int)
+	for k := len(s.nulls) - 1; k >= 0; k-- {
+		radix.SetInt64(int64(len(s.doms[k])))
+		rem.QuoRem(rem, radix, digit)
+		idx[k] = int(digit.Int64())
+	}
+	v := make(Valuation, len(s.nulls))
+	for k, null := range s.nulls {
+		v[null] = s.doms[k][idx[k]]
+	}
+	advance := func() {
+		for k := len(idx) - 1; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(s.doms[k]) {
+				v[s.nulls[k]] = s.doms[k][idx[k]]
+				return
+			}
+			idx[k] = 0
+			v[s.nulls[k]] = s.doms[k][0]
+		}
+	}
+	if n.IsInt64() {
+		for remaining := n.Int64(); ; {
+			if !fn(v) {
+				return nil
+			}
+			if remaining--; remaining == 0 {
+				return nil
+			}
+			advance()
+		}
+	}
+	// Astronomically large ranges cannot terminate in practice, but stay
+	// correct: count down with a big counter.
+	one := big.NewInt(1)
+	for remaining := n; ; {
+		if !fn(v) {
+			return nil
+		}
+		if remaining.Sub(remaining, one); remaining.Sign() == 0 {
+			return nil
+		}
+		advance()
+	}
+}

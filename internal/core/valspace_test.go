@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func spaceTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.MustAddFact("R", Null(1), Null(2))
+	db.MustAddFact("S", Null(3), Const("a"))
+	db.SetDomain(1, []string{"a", "b", "c"})
+	db.SetDomain(2, []string{"x", "y"})
+	db.SetDomain(3, []string{"p", "q", "r", "s"})
+	return db
+}
+
+// TestValuationSpaceAtMatchesEnumeration: At(i) for i = 0..Size-1 yields
+// exactly the ForEachValuation sequence.
+func TestValuationSpaceAtMatchesEnumeration(t *testing.T) {
+	db := spaceTestDB(t)
+	s, err := db.ValuationSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size().Cmp(big.NewInt(24)) != 0 {
+		t.Fatalf("size %v, want 24", s.Size())
+	}
+	var enumerated []Valuation
+	db.ForEachValuation(func(v Valuation) bool {
+		enumerated = append(enumerated, v.Clone())
+		return true
+	})
+	if len(enumerated) != 24 {
+		t.Fatalf("enumerated %d valuations", len(enumerated))
+	}
+	for i, want := range enumerated {
+		got, err := s.At(big.NewInt(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("At(%d) = %v, enumeration has %v", i, got, want)
+		}
+	}
+}
+
+// TestValuationSpaceRangeConcatenation: splitting [0, Size) into arbitrary
+// contiguous chunks and concatenating the chunk enumerations reproduces the
+// full enumeration — the property parallel sharding relies on.
+func TestValuationSpaceRangeConcatenation(t *testing.T) {
+	db := spaceTestDB(t)
+	s, err := db.ValuationSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []string
+	s.Range(big.NewInt(0), s.Size(), func(v Valuation) bool {
+		full = append(full, v.String())
+		return true
+	})
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var chunked []string
+		lo := int64(0)
+		for lo < 24 {
+			hi := lo + 1 + int64(r.Intn(int(24-lo)))
+			err := s.Range(big.NewInt(lo), big.NewInt(hi), func(v Valuation) bool {
+				chunked = append(chunked, v.String())
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		if len(chunked) != len(full) {
+			t.Fatalf("chunked %d valuations, want %d", len(chunked), len(full))
+		}
+		for i := range full {
+			if chunked[i] != full[i] {
+				t.Fatalf("trial %d: chunked[%d] = %s, want %s", trial, i, chunked[i], full[i])
+			}
+		}
+	}
+}
+
+func TestValuationSpaceBounds(t *testing.T) {
+	db := spaceTestDB(t)
+	s, _ := db.ValuationSpace()
+	if _, err := s.At(big.NewInt(-1)); err == nil {
+		t.Error("At(-1) accepted")
+	}
+	if _, err := s.At(big.NewInt(24)); err == nil {
+		t.Error("At(Size) accepted")
+	}
+	if err := s.Range(big.NewInt(3), big.NewInt(2), nil); err == nil {
+		t.Error("Range with lo > hi accepted")
+	}
+	if err := s.Range(big.NewInt(0), big.NewInt(25), nil); err == nil {
+		t.Error("Range beyond Size accepted")
+	}
+	// Empty interval is fine and calls nothing.
+	if err := s.Range(big.NewInt(5), big.NewInt(5), nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValuationSpaceNoNulls: a database without nulls has exactly one
+// (empty) valuation at index 0.
+func TestValuationSpaceNoNulls(t *testing.T) {
+	db := NewDatabase()
+	db.MustAddFact("R", Const("a"))
+	s, err := db.ValuationSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("size %v, want 1", s.Size())
+	}
+	v, err := s.At(big.NewInt(0))
+	if err != nil || len(v) != 0 {
+		t.Fatalf("At(0) = %v, err %v", v, err)
+	}
+	calls := 0
+	s.Range(big.NewInt(0), big.NewInt(1), func(Valuation) bool { calls++; return true })
+	if calls != 1 {
+		t.Fatalf("Range visited %d valuations, want 1", calls)
+	}
+}
+
+// TestValuationSpaceEmptyDomain: an empty domain empties the whole space.
+func TestValuationSpaceEmptyDomain(t *testing.T) {
+	db := NewDatabase()
+	db.MustAddFact("R", Null(1), Null(2))
+	db.SetDomain(1, []string{"a", "b"})
+	db.SetDomain(2, nil)
+	s, err := db.ValuationSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size().Sign() != 0 {
+		t.Fatalf("size %v, want 0", s.Size())
+	}
+	if _, err := s.Sample(rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("Sample on empty space accepted")
+	}
+	s.Range(big.NewInt(0), big.NewInt(0), func(Valuation) bool {
+		t.Fatal("Range on empty space called fn")
+		return false
+	})
+}
+
+// TestValuationSpaceSample: samples are valid valuations, and every index
+// is eventually hit (uniformity smoke test on a small space).
+func TestValuationSpaceSample(t *testing.T) {
+	db := spaceTestDB(t)
+	s, _ := db.ValuationSpace()
+	r := rand.New(rand.NewSource(11))
+	seen := map[string]bool{}
+	var v Valuation
+	var err error
+	for i := 0; i < 2000; i++ {
+		v, err = s.Sample(r, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.IsValuationOf(db) {
+			t.Fatalf("sampled %v is not a valuation of the database", v)
+		}
+		seen[v.String()] = true
+	}
+	if len(seen) != 24 {
+		t.Fatalf("2000 samples hit %d/24 valuations", len(seen))
+	}
+}
+
+// TestValuationSpaceIsSnapshot: the space is unaffected by later mutation
+// of the database.
+func TestValuationSpaceIsSnapshot(t *testing.T) {
+	db := NewDatabase()
+	db.MustAddFact("R", Null(1))
+	db.SetDomain(1, []string{"a", "b"})
+	s, _ := db.ValuationSpace()
+	db.MustAddFact("R", Null(2))
+	db.SetDomain(2, []string{"c"})
+	if s.Size().Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("snapshot size changed: %v", s.Size())
+	}
+}

@@ -4,12 +4,19 @@
 // for the tractable sides of the dichotomies of Table 1 (Theorems 3.6, 3.7,
 // 3.9 and 4.6), together with an automatic dispatcher.
 //
+// The brute-force counters shard the valuation space across a worker pool
+// (Options.Workers) using core.ValuationSpace; parallel results are
+// bit-identical to a serial sweep.
+//
 // All counts are exact big integers.
 package count
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"runtime"
+	"strings"
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
@@ -23,6 +30,23 @@ type Options struct {
 	// MaxValuations bounds the number of valuations brute-force
 	// enumeration will visit; 0 means DefaultMaxValuations.
 	MaxValuations int64
+
+	// Workers is the number of goroutines the brute-force counters shard
+	// the valuation space across; 0 means runtime.NumCPU(), 1 forces a
+	// serial sweep. Parallel results are identical to serial ones. With
+	// Workers > 1 the query's Eval must be safe for concurrent use on
+	// distinct instances (true of all queries in this module; relevant
+	// only for user-supplied cq.Func queries).
+	Workers int
+
+	// Context, when non-nil, cancels long brute-force sweeps: the
+	// counters return its error shortly after it is done.
+	Context context.Context
+
+	// rejectedPaths records, when set by the dispatcher, why each fast
+	// path did not apply, so the brute-force guard can explain what was
+	// already tried instead of suggesting it.
+	rejectedPaths []string
 }
 
 func (o *Options) maxValuations() *big.Int {
@@ -32,61 +56,108 @@ func (o *Options) maxValuations() *big.Int {
 	return big.NewInt(o.MaxValuations)
 }
 
+func (o *Options) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+func (o *Options) context() context.Context {
+	if o == nil || o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
+}
+
+// withRejected returns a copy of o carrying the dispatcher's notes on why
+// the fast paths were not applicable.
+func (o *Options) withRejected(notes []string) *Options {
+	c := &Options{}
+	if o != nil {
+		*c = *o
+	}
+	c.rejectedPaths = notes
+	return c
+}
+
 func guardBrute(db *core.Database, opts *Options) error {
 	total, err := db.NumValuations()
 	if err != nil {
 		return err
 	}
+	return guardSize(total, opts)
+}
+
+// guardedSpace builds the valuation space and applies the brute-force
+// guard to its size, validating the database only once.
+func guardedSpace(db *core.Database, opts *Options) (*core.ValuationSpace, error) {
+	space, err := db.ValuationSpace()
+	if err != nil {
+		return nil, err
+	}
+	if err := guardSize(space.Size(), opts); err != nil {
+		return nil, err
+	}
+	return space, nil
+}
+
+func guardSize(total *big.Int, opts *Options) error {
 	if total.Cmp(opts.maxValuations()) > 0 {
-		return fmt.Errorf("count: %v valuations exceed the brute-force guard %v; use an exact algorithm or an estimator", total, opts.maxValuations())
+		hint := "use an exact algorithm or an estimator"
+		if opts != nil && len(opts.rejectedPaths) > 0 {
+			hint = "no fast path applies — " + strings.Join(opts.rejectedPaths, "; ") +
+				" — raise MaxValuations, shrink the instance, or use an estimator"
+		}
+		return fmt.Errorf("count: %v valuations exceed the brute-force guard %v; %s", total, opts.maxValuations(), hint)
 	}
 	return nil
 }
 
 // BruteForceValuations counts the valuations ν of db with ν(db) ⊨ q by
-// exhaustive enumeration. It fails if the valuation space exceeds the
-// guard in opts.
+// exhaustive enumeration, sharded across Options.Workers goroutines. It
+// fails if the valuation space exceeds the guard in opts or the context in
+// opts is cancelled.
 func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
-	if err := guardBrute(db, opts); err != nil {
+	space, err := guardedSpace(db, opts)
+	if err != nil {
 		return nil, err
 	}
-	count := big.NewInt(0)
+	shards := shardCount(space.Size(), opts)
+	counts := make([]*big.Int, shards)
+	for i := range counts {
+		counts[i] = big.NewInt(0)
+	}
 	one := big.NewInt(1)
-	err := db.ForEachValuation(func(v core.Valuation) bool {
+	err = sweepSharded(space, opts.context(), shards, func(shard int, v core.Valuation) bool {
 		if q.Eval(db.Apply(v)) {
-			count.Add(count, one)
+			counts[shard].Add(counts[shard], one)
 		}
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	return count, nil
+	total := big.NewInt(0)
+	for _, c := range counts {
+		total.Add(total, c)
+	}
+	return total, nil
 }
 
 // BruteForceCompletions counts the distinct completions ν(db) of db with
-// ν(db) ⊨ q by exhaustive enumeration with canonical deduplication. It
-// fails if the valuation space exceeds the guard in opts.
+// ν(db) ⊨ q by exhaustive enumeration with canonical deduplication,
+// sharded across Options.Workers goroutines. Each shard deduplicates its
+// own index range; the shard maps are merged at the end, so every distinct
+// completion is evaluated at most once per shard. It fails if the
+// valuation space exceeds the guard in opts or the context is cancelled.
 func BruteForceCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
-	if err := guardBrute(db, opts); err != nil {
-		return nil, err
-	}
-	// seen maps each completion's canonical key to whether it satisfies q,
-	// so every distinct completion is evaluated exactly once.
-	seen := make(map[string]bool)
-	err := db.ForEachValuation(func(v core.Valuation) bool {
-		inst := db.Apply(v)
-		key := inst.CanonicalKey()
-		if _, visited := seen[key]; !visited {
-			seen[key] = q.Eval(inst)
-		}
-		return true
-	})
+	merged, err := bruteCompletionSweep(db, q, opts, false)
 	if err != nil {
 		return nil, err
 	}
 	count := int64(0)
-	for _, sat := range seen {
+	for _, sat := range merged.sat {
 		if sat {
 			count++
 		}
@@ -100,24 +171,38 @@ func BruteForceAllCompletions(db *core.Database, opts *Options) (*big.Int, error
 }
 
 // EnumerateCompletions returns every distinct completion of db (for
-// debugging and tests); it fails when the guard is exceeded.
+// debugging and tests), in first-seen enumeration order — identical for
+// serial and parallel sweeps; it fails when the guard is exceeded.
 func EnumerateCompletions(db *core.Database, opts *Options) ([]*core.Instance, error) {
-	if err := guardBrute(db, opts); err != nil {
+	merged, err := bruteCompletionSweep(db, cq.Tautology{}, opts, true)
+	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]bool)
-	var out []*core.Instance
-	err := db.ForEachValuation(func(v core.Valuation) bool {
-		inst := db.Apply(v)
-		key := inst.CanonicalKey()
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, inst)
-		}
+	out := make([]*core.Instance, 0, len(merged.order))
+	for _, key := range merged.order {
+		out = append(out, merged.instances[key])
+	}
+	return out, nil
+}
+
+// bruteCompletionSweep runs the guarded, sharded completion-dedup sweep
+// shared by BruteForceCompletions and EnumerateCompletions.
+func bruteCompletionSweep(db *core.Database, q cq.Query, opts *Options, keepInstances bool) (*completionShard, error) {
+	space, err := guardedSpace(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	shards := shardCount(space.Size(), opts)
+	perShard := make([]*completionShard, shards)
+	for i := range perShard {
+		perShard[i] = newCompletionShard(keepInstances)
+	}
+	err = sweepSharded(space, opts.context(), shards, func(shard int, v core.Valuation) bool {
+		perShard[shard].visit(db.Apply(v), q)
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return mergeCompletionShards(perShard), nil
 }

@@ -1,6 +1,7 @@
 package count
 
 import (
+	"fmt"
 	"math/big"
 
 	"github.com/incompletedb/incompletedb/internal/core"
@@ -45,30 +46,53 @@ func CountValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, Me
 		}
 		return total.Sub(total, inner), Method("complement of " + string(m)), nil
 	}
+	var rejected []string
 	if b, ok := q.(*cq.BCQ); ok && b.SelfJoinFree() && b.Validate() == nil {
 		if cq.AllVariablesOccurOnce(b) {
 			n, err := ValuationsSingleOccurrence(db, b)
 			return n, MethodSingleOccurrence, err
 		}
+		rejected = append(rejected, "Theorem 3.6 needs every variable to occur exactly once")
 		if db.IsCodd() && !cq.HasSharedVarAtoms(b) {
 			n, err := ValuationsCodd(db, b)
 			return n, MethodCodd, err
+		}
+		if !db.IsCodd() {
+			rejected = append(rejected, "Theorem 3.7 needs a Codd table")
+		} else {
+			rejected = append(rejected, "Theorem 3.7 rejects the query: two atoms share a variable")
 		}
 		if db.Uniform() && !cq.HasRepeatedVarAtom(b) && !cq.HasPathPattern(b) && !cq.HasDoublySharedPair(b) {
 			n, err := ValuationsUniform(db, b)
 			return n, MethodUniformVal, err
 		}
+		if !db.Uniform() {
+			rejected = append(rejected, "Theorem 3.9 needs a uniform database")
+		} else {
+			rejected = append(rejected, "Theorem 3.9 rejects the query: it contains a hard pattern (repeated-variable atom, path, or doubly-shared pair)")
+		}
+	} else {
+		rejected = append(rejected, "the polynomial algorithms of Theorems 3.6/3.7/3.9 need a valid self-join-free BCQ")
 	}
 	switch q.(type) {
 	case *cq.BCQ, *cq.UCQ:
-		if set, err := cylinder.Build(db, q); err == nil && len(set.Cylinders) <= maxCylindersForIE {
+		set, err := cylinder.Build(db, q)
+		switch {
+		case err != nil:
+			rejected = append(rejected, "cylinder inclusion–exclusion failed: "+err.Error())
+		case len(set.Cylinders) > maxCylindersForIE:
+			rejected = append(rejected, fmt.Sprintf("cylinder inclusion–exclusion is capped at %d cylinders, the query needs %d", maxCylindersForIE, len(set.Cylinders)))
+		default:
 			n, err := set.UnionCount()
 			if err == nil {
 				return n, MethodCylinderIE, nil
 			}
+			rejected = append(rejected, "cylinder inclusion–exclusion failed: "+err.Error())
 		}
+	default:
+		rejected = append(rejected, "cylinder inclusion–exclusion needs a BCQ or a union of BCQs")
 	}
-	n, err := BruteForceValuations(db, q, opts)
+	n, err := BruteForceValuations(db, q, opts.withRejected(rejected))
 	return n, MethodBruteForce, err
 }
 
@@ -77,13 +101,22 @@ func CountValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, Me
 // query avoids R(x,x) and R(x,y), and guarded brute-force enumeration with
 // completion deduplication otherwise.
 func CountCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, Method, error) {
+	var rejected []string
 	if b, ok := q.(*cq.BCQ); ok && b.SelfJoinFree() && b.Validate() == nil {
 		if db.Uniform() && cq.AllAtomsUnary(b) && allRelationsUnary(db) {
 			n, err := CompletionsUniform(db, b)
 			return n, MethodUniformComp, err
 		}
+		switch {
+		case !db.Uniform():
+			rejected = append(rejected, "Theorem 4.6 needs a uniform database")
+		case !cq.AllAtomsUnary(b) || !allRelationsUnary(db):
+			rejected = append(rejected, "Theorem 4.6 needs a unary schema (no binary atoms or relations)")
+		}
+	} else {
+		rejected = append(rejected, "the polynomial algorithm of Theorem 4.6 needs a valid self-join-free BCQ")
 	}
-	n, err := BruteForceCompletions(db, q, opts)
+	n, err := BruteForceCompletions(db, q, opts.withRejected(rejected))
 	return n, MethodBruteForce, err
 }
 

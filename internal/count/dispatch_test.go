@@ -1,6 +1,7 @@
 package count
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -207,5 +208,57 @@ func TestCompLeqVal(t *testing.T) {
 		if c.Cmp(v) > 0 || v.Cmp(total) > 0 {
 			t.Fatalf("seed %d: #Comp=%v #Val=%v total=%v", seed, c, v, total)
 		}
+	}
+}
+
+// TestDispatchWorkerPlumbing: Options.Workers and Options.Context reach
+// the brute-force engine through both dispatchers.
+func TestDispatchWorkerPlumbing(t *testing.T) {
+	// 19 cylinders defeat the IE fallback while 2^19 valuations stay
+	// under the guard: CountValuations must land on brute force.
+	db := core.NewDatabase()
+	for i := 1; i <= 19; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)), core.Null(core.NullID(i%19+1)))
+		db.SetDomain(core.NullID(i), []string{"a", "b"})
+	}
+	q := cq.MustParseBCQ("R(x, x)")
+	serialV, m, err := CountValuations(db, q, &Options{Workers: 1})
+	if err != nil || m != MethodBruteForce {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	parV, m, err := CountValuations(db, q, &Options{Workers: 4})
+	if err != nil || m != MethodBruteForce {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	mustEqual(t, parV, serialV, "parallel dispatch valuations")
+
+	// Any non-uniform database sends CountCompletions to brute force; a
+	// small one keeps the dedup sweep cheap.
+	small := core.NewDatabase()
+	for i := 1; i <= 8; i++ {
+		small.MustAddFact("R", core.Null(core.NullID(i)), core.Null(core.NullID(i%8+1)))
+		small.SetDomain(core.NullID(i), []string{"a", "b"})
+	}
+	serialC, m, err := CountCompletions(small, q, &Options{Workers: 1})
+	if err != nil || m != MethodBruteForce {
+		t.Fatalf("method %s, err %v", m, err)
+	}
+	parC, _, err := CountCompletions(small, q, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, parC, serialC, "parallel dispatch completions")
+
+	// A cancelled context aborts brute-force routes through the dispatcher.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CountValuations(db, q, &Options{Context: ctx}); err != context.Canceled {
+		t.Fatalf("cancelled dispatch err = %v", err)
+	}
+	// ...but exact routes never enumerate, so they ignore it.
+	u := core.NewUniformDatabase([]string{"a", "b"})
+	u.MustAddFact("R", core.Null(1))
+	if _, m, err := CountValuations(u, cq.MustParseBCQ("R(x)"), &Options{Context: ctx}); err != nil || m != MethodSingleOccurrence {
+		t.Fatalf("exact route: method %s, err %v", m, err)
 	}
 }

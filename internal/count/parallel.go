@@ -1,0 +1,173 @@
+package count
+
+import (
+	"context"
+	"math/big"
+	"sync"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// The sharded valuation-sweep driver behind the brute-force counters: the
+// valuation space is split into one contiguous, index-ordered shard per
+// worker, and each worker sweeps its shard with shard-local state. Because
+// shards partition [0, Size) in index order, per-shard results can always
+// be merged back into exactly the answer a serial sweep would produce.
+
+// serialCutoff is the space size below which sharding is not worth the
+// goroutine and merge overhead and the sweep runs on the calling
+// goroutine.
+const serialCutoff = 4096
+
+// cancelCheckInterval is the number of valuations a worker visits between
+// polls of the cancellation context.
+const cancelCheckInterval = 1024
+
+// shardCount returns how many shards a sweep over a space of the given
+// size uses under opts: 1 when a single worker is requested, never more
+// than the space size, and — only when Workers is left at its default — 1
+// for spaces too small to repay the goroutine and merge overhead. An
+// explicit Workers > 1 always shards, so tests can force the parallel
+// path on small spaces.
+func shardCount(size *big.Int, opts *Options) int {
+	explicit := opts != nil && opts.Workers > 0
+	w := opts.workers()
+	if w <= 1 {
+		return 1
+	}
+	if !explicit && size.Cmp(big.NewInt(serialCutoff)) <= 0 {
+		return 1
+	}
+	if size.Sign() > 0 && size.IsInt64() && size.Int64() < int64(w) {
+		return int(size.Int64())
+	}
+	return w
+}
+
+// shardBounds splits [0, size) into shards+1 contiguous boundaries
+// b[0]=0 ≤ b[1] ≤ … ≤ b[shards]=size, with all shard lengths within one of
+// each other.
+func shardBounds(size *big.Int, shards int) []*big.Int {
+	chunk, rem := new(big.Int).QuoRem(size, big.NewInt(int64(shards)), new(big.Int))
+	bounds := make([]*big.Int, shards+1)
+	bounds[0] = big.NewInt(0)
+	one := big.NewInt(1)
+	for i := 1; i <= shards; i++ {
+		width := new(big.Int).Set(chunk)
+		if int64(i) <= rem.Int64() {
+			width.Add(width, one)
+		}
+		bounds[i] = new(big.Int).Add(bounds[i-1], width)
+	}
+	return bounds
+}
+
+// sweepSharded enumerates the whole valuation space across the given
+// number of shards, calling visit(shard, v) for every valuation. visit
+// runs concurrently across shards and must only touch state owned by its
+// shard; the Valuation it receives is reused between calls within one
+// shard. A false return from visit stops that shard only. sweepSharded
+// returns the context's error if the sweep was cancelled, in which case
+// the per-shard state is incomplete and must be discarded.
+func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, visit func(shard int, v core.Valuation) bool) error {
+	size := space.Size()
+	if size.Sign() == 0 {
+		return ctx.Err()
+	}
+	if shards == 1 {
+		if err := sweepShard(space, ctx, big.NewInt(0), size, 0, visit); err != nil {
+			return err
+		}
+		return ctx.Err()
+	}
+	bounds := shardBounds(size, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = sweepShard(space, ctx, bounds[w], bounds[w+1], w, visit)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// sweepShard sweeps one contiguous index interval, polling ctx every
+// cancelCheckInterval valuations. A Range error (an invalid interval)
+// must propagate: swallowing it would turn a partial sweep into a silent
+// undercount.
+func sweepShard(space *core.ValuationSpace, ctx context.Context, lo, hi *big.Int, shard int, visit func(int, core.Valuation) bool) error {
+	sinceCheck := 0
+	return space.Range(lo, hi, func(v core.Valuation) bool {
+		if sinceCheck++; sinceCheck >= cancelCheckInterval {
+			sinceCheck = 0
+			if ctx.Err() != nil {
+				return false
+			}
+		}
+		return visit(shard, v)
+	})
+}
+
+// completionShard is the shard-local state of a sweep that deduplicates
+// completions: the canonical keys in first-seen order, each key's query
+// verdict, and (optionally) the instance itself.
+type completionShard struct {
+	order     []string
+	sat       map[string]bool
+	instances map[string]*core.Instance // nil unless instances are retained
+}
+
+func newCompletionShard(keepInstances bool) *completionShard {
+	s := &completionShard{sat: make(map[string]bool)}
+	if keepInstances {
+		s.instances = make(map[string]*core.Instance)
+	}
+	return s
+}
+
+// visit records one completion, evaluating q only the first time the
+// completion's key is seen within this shard.
+func (s *completionShard) visit(inst *core.Instance, q cq.Query) {
+	key := inst.CanonicalKey()
+	if _, dup := s.sat[key]; dup {
+		return
+	}
+	s.order = append(s.order, key)
+	s.sat[key] = q.Eval(inst)
+	if s.instances != nil {
+		s.instances[key] = inst
+	}
+}
+
+// mergeCompletionShards folds the shards together in shard order (= index
+// order, since shards are contiguous), keeping each completion's
+// first-seen occurrence. The result is identical to what one serial sweep
+// would have produced.
+func mergeCompletionShards(shards []*completionShard) *completionShard {
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	merged := newCompletionShard(shards[0].instances != nil)
+	for _, s := range shards {
+		for _, key := range s.order {
+			if _, dup := merged.sat[key]; dup {
+				continue
+			}
+			merged.order = append(merged.order, key)
+			merged.sat[key] = s.sat[key]
+			if merged.instances != nil {
+				merged.instances[key] = s.instances[key]
+			}
+		}
+	}
+	return merged
+}
