@@ -1,16 +1,22 @@
 // Command incdb is the command-line interface to the incompletedb library:
 // it classifies self-join-free Boolean conjunctive queries according to the
 // dichotomies of Arenas, Barceló and Monet (PODS 2020), counts valuations
-// and completions of incomplete databases exactly or approximately, and
-// runs the paper-reproduction experiment suite.
+// and completions of incomplete databases exactly or approximately, runs
+// the paper-reproduction experiment suite, and serves all of the above as
+// a caching HTTP/JSON service.
 //
 // Usage:
 //
-//	incdb classify -q "R(x,y) ∧ S(x)"
+//	incdb classify -q "R(x,y) ∧ S(x)" [-json]
 //	incdb table1
-//	incdb count -db data.idb -q "R(x,x)" -kind val
+//	incdb count -db data.idb -q "R(x,x)" -kind val [-json]
 //	incdb estimate -db data.idb -q "R(x,x)" -eps 0.05 -delta 0.01
+//	incdb serve -addr 127.0.0.1:8333 -cache 1024 -max 4194304
 //	incdb experiments [-quick] [-seed N]
+//
+// Ctrl-C (SIGINT) and SIGTERM cancel in-flight brute-force sweeps: count
+// and estimate return promptly with a cancellation error, and serve shuts
+// down gracefully, stopping all running jobs.
 //
 // Database files use the textual format of core.ParseDatabase:
 //
@@ -22,14 +28,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	incdb "github.com/incompletedb/incompletedb"
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/experiments"
+	"github.com/incompletedb/incompletedb/internal/server"
 )
 
 func main() {
@@ -37,6 +49,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One signal-aware context for the whole invocation: Ctrl-C cancels
+	// in-flight sweeps instead of being ignored until they finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "classify":
@@ -44,9 +60,11 @@ func main() {
 	case "table1":
 		fmt.Print(incdb.Table1())
 	case "count":
-		err = cmdCount(os.Args[2:])
+		err = cmdCount(ctx, os.Args[2:])
 	case "estimate":
-		err = cmdEstimate(os.Args[2:])
+		err = cmdEstimate(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "help", "-h", "--help":
@@ -68,17 +86,49 @@ func usage() {
 commands:
   classify -q QUERY              classify an sjfBCQ under all eight variants (Table 1)
   table1                         print the dichotomy table of the paper
-  count -db FILE -q QUERY        count valuations/completions (-kind val|comp, -workers N)
+  count -db FILE -q QUERY        count valuations/completions (-kind val|comp|all-comp, -workers N)
   estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed)
-  experiments [-quick] [-seed N] run the paper-reproduction experiment suite`)
+  serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers, -jobs)
+  experiments [-quick] [-seed N] run the paper-reproduction experiment suite
+
+classify and count accept -json for machine-readable output (the same
+schema the serve API returns).`)
+}
+
+// printJSON writes v to stdout in the server API's JSON shape.
+func printJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// execJSON runs one request through the server package's execution path —
+// the CLI's -json output and the serve API share one schema and one
+// implementation — cancelling it when ctx is.
+func execJSON(ctx context.Context, cfg server.Config, req server.Request) error {
+	srv := server.New(cfg)
+	defer srv.Close()
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	resp := srv.Execute(req)
+	if resp.Error != "" {
+		return errors.New(resp.Error)
+	}
+	return printJSON(resp)
 }
 
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	qstr := fs.String("q", "", "self-join-free Boolean conjunctive query")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
 	fs.Parse(args)
 	if *qstr == "" {
 		return fmt.Errorf("classify: -q is required")
+	}
+	if *jsonOut {
+		return execJSON(context.Background(), server.Config{}, server.Request{Op: server.OpClassify, Query: *qstr})
 	}
 	q, err := incdb.ParseBCQ(*qstr)
 	if err != nil {
@@ -108,13 +158,14 @@ func loadDB(path string) (*incdb.Database, error) {
 	return incdb.ParseDatabase(f)
 }
 
-func cmdCount(args []string) error {
+func cmdCount(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("count", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database file")
 	qstr := fs.String("q", "", "Boolean query")
 	kind := fs.String("kind", "val", "what to count: val | comp | all-comp")
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "brute-force guard (number of valuations)")
 	workers := fs.Int("workers", 0, "parallel workers for brute-force sweeps (0 = one per CPU, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (count, method, duration)")
 	fs.Parse(args)
 	if *dbPath == "" || (*qstr == "" && *kind != "all-comp") {
 		return fmt.Errorf("count: -db and -q are required")
@@ -122,11 +173,24 @@ func cmdCount(args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("count: -workers must be ≥ 0, got %d", *workers)
 	}
+	if *jsonOut {
+		raw, err := os.ReadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		req := server.Request{Op: server.OpCount, Database: string(raw), Query: *qstr, Kind: *kind}
+		if *kind == "all-comp" {
+			// #Comp(TRUE) counts all completions.
+			req.Query, req.Kind = "TRUE", server.KindComp
+		}
+		cfg := server.Config{MaxValuations: *maxVals, Workers: *workers}
+		return execJSON(ctx, cfg, req)
+	}
 	db, err := loadDB(*dbPath)
 	if err != nil {
 		return err
 	}
-	opts := &incdb.CountOptions{MaxValuations: *maxVals, Workers: *workers}
+	opts := &incdb.CountOptions{MaxValuations: *maxVals, Workers: *workers, Context: ctx}
 	switch *kind {
 	case "val":
 		q, err := incdb.ParseQuery(*qstr)
@@ -160,7 +224,7 @@ func cmdCount(args []string) error {
 	return nil
 }
 
-func cmdEstimate(args []string) error {
+func cmdEstimate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database file")
 	qstr := fs.String("q", "", "(union of) Boolean conjunctive query(ies)")
@@ -179,12 +243,31 @@ func cmdEstimate(args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := incdb.EstimateValuations(db, q, *eps, *delta, rand.New(rand.NewSource(*seed)))
+	est, err := incdb.EstimateValuationsContext(ctx, db, q, *eps, *delta, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("#Val(%v) ≈ %v   (ε=%v, δ=%v; Karp–Luby FPRAS)\n", q, est, *eps, *delta)
 	return nil
+}
+
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8333", "listen address")
+	cacheSize := fs.Int("cache", server.DefaultCacheSize, "result-cache capacity in entries (negative disables caching)")
+	maxVals := fs.Int64("max", count.DefaultMaxValuations, "per-request valuation budget for brute-force sweeps")
+	workers := fs.Int("workers", 0, "worker pool per sweep (0 = one per CPU)")
+	jobs := fs.Int("jobs", server.DefaultMaxJobs, "maximum retained (terminal) jobs")
+	fs.Parse(args)
+	srv := server.New(server.Config{
+		CacheSize:     *cacheSize,
+		MaxValuations: *maxVals,
+		Workers:       *workers,
+		MaxJobs:       *jobs,
+	})
+	fmt.Fprintf(os.Stderr, "incdb: serving on http://%s (cache %d entries, budget %d valuations)\n",
+		*addr, *cacheSize, *maxVals)
+	return srv.ListenAndServe(ctx, *addr)
 }
 
 func cmdExperiments(args []string) error {

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/server"
 )
 
 // capture runs fn with os.Stdout redirected and returns what it printed.
@@ -58,7 +62,7 @@ func TestCmdClassify(t *testing.T) {
 func TestCmdCount(t *testing.T) {
 	db := writeTestDB(t)
 	out, err := capture(t, func() error {
-		return cmdCount([]string{"-db", db, "-q", "S(x, x)", "-kind", "val"})
+		return cmdCount(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-kind", "val"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +73,7 @@ func TestCmdCount(t *testing.T) {
 		t.Errorf("count output: %s", out)
 	}
 	out, err = capture(t, func() error {
-		return cmdCount([]string{"-db", db, "-q", "S(x, x)", "-kind", "comp"})
+		return cmdCount(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-kind", "comp"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,18 +82,18 @@ func TestCmdCount(t *testing.T) {
 		t.Errorf("comp output: %s", out)
 	}
 	out, err = capture(t, func() error {
-		return cmdCount([]string{"-db", db, "-kind", "all-comp"})
+		return cmdCount(context.Background(), []string{"-db", db, "-kind", "all-comp"})
 	})
 	if err != nil || !strings.Contains(out, "#Comp(TRUE)") {
 		t.Errorf("all-comp output: %s (err %v)", out, err)
 	}
-	if err := cmdCount([]string{"-db", db, "-q", "S(x,x)", "-kind", "bogus"}); err == nil {
+	if err := cmdCount(context.Background(), []string{"-db", db, "-q", "S(x,x)", "-kind", "bogus"}); err == nil {
 		t.Error("bogus kind accepted")
 	}
-	if err := cmdCount([]string{"-q", "S(x,x)"}); err == nil {
+	if err := cmdCount(context.Background(), []string{"-q", "S(x,x)"}); err == nil {
 		t.Error("missing -db accepted")
 	}
-	if err := cmdCount([]string{"-db", "/nonexistent/xx.idb", "-q", "S(x,x)"}); err == nil {
+	if err := cmdCount(context.Background(), []string{"-db", "/nonexistent/xx.idb", "-q", "S(x,x)"}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -102,7 +106,7 @@ func TestCmdCountWorkers(t *testing.T) {
 	// -workers parses and threads through without changing the result.
 	for _, w := range []string{"1", "4"} {
 		out, err := capture(t, func() error {
-			return cmdCount([]string{"-db", db, "-q", "S(x, x)", "-kind", "val", "-workers", w})
+			return cmdCount(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-kind", "val", "-workers", w})
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +115,7 @@ func TestCmdCountWorkers(t *testing.T) {
 			t.Errorf("workers=%s output: %s", w, out)
 		}
 	}
-	if err := cmdCount([]string{"-db", db, "-q", "S(x, x)", "-workers", "-2"}); err == nil {
+	if err := cmdCount(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-workers", "-2"}); err == nil {
 		t.Error("negative -workers accepted")
 	}
 }
@@ -119,7 +123,7 @@ func TestCmdCountWorkers(t *testing.T) {
 func TestCmdEstimate(t *testing.T) {
 	db := writeTestDB(t)
 	out, err := capture(t, func() error {
-		return cmdEstimate([]string{"-db", db, "-q", "S(x, x)", "-eps", "0.1", "-delta", "0.1", "-seed", "3"})
+		return cmdEstimate(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-eps", "0.1", "-delta", "0.1", "-seed", "3"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -127,8 +131,84 @@ func TestCmdEstimate(t *testing.T) {
 	if !strings.Contains(out, "Karp–Luby") {
 		t.Errorf("estimate output: %s", out)
 	}
-	if err := cmdEstimate([]string{"-db", db}); err == nil {
+	if err := cmdEstimate(context.Background(), []string{"-db", db}); err == nil {
 		t.Error("missing -q accepted")
+	}
+}
+
+// TestCmdCountJSON: -json emits the serve API's Response schema, for all
+// three kinds.
+func TestCmdCountJSON(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, func() error {
+		return cmdCount(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-kind", "val", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if resp.Op != server.OpCount || resp.Count != "5" || resp.Method == "" {
+		t.Errorf("count -json: %+v", resp)
+	}
+	if resp.Fingerprint == "" {
+		t.Errorf("count -json lacks a fingerprint: %+v", resp)
+	}
+
+	out, err = capture(t, func() error {
+		return cmdCount(context.Background(), []string{"-db", db, "-kind", "all-comp", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if resp.Kind != server.KindComp || resp.Query != "TRUE" || resp.Count == "" {
+		t.Errorf("all-comp -json: %+v", resp)
+	}
+
+	// A parse error still exits non-zero in JSON mode.
+	if err := cmdCount(context.Background(), []string{"-db", db, "-q", "(", "-json"}); err == nil {
+		t.Error("bad query accepted in -json mode")
+	}
+}
+
+// TestCmdClassifyJSON: -json emits the eight-variant classification.
+func TestCmdClassifyJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdClassify([]string{"-q", "R(x, x)", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if resp.Op != server.OpClassify || len(resp.Classification) != 8 {
+		t.Errorf("classify -json: %+v", resp)
+	}
+	if err := cmdClassify([]string{"-q", "R(x) | S(x)", "-json"}); err == nil {
+		t.Error("non-BCQ accepted in -json mode")
+	}
+}
+
+// TestCmdServe: the serve command binds, answers a request, and shuts
+// down when its context is cancelled (the Ctrl-C path).
+func TestCmdServe(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe(ctx, []string{"-addr", "127.0.0.1:0", "-cache", "16"})
+	}()
+	// The listener address is ephemeral; this test only proves clean
+	// startup and signal-driven shutdown.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve did not shut down cleanly: %v", err)
 	}
 }
 

@@ -45,6 +45,7 @@
 package incompletedb
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
@@ -53,6 +54,8 @@ import (
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/fingerprint"
+	"github.com/incompletedb/incompletedb/internal/server"
 )
 
 // Core model types.
@@ -208,7 +211,13 @@ func TotalValuations(db *Database) (*big.Int, error) {
 // BCQ(s). The estimate carries the guarantee
 // Pr(|estimate − #Val| ≤ ε·#Val) ≥ 1 − δ.
 func EstimateValuations(db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
-	res, err := approx.KarpLubyValuations(db, q, eps, delta, r)
+	return EstimateValuationsContext(context.Background(), db, q, eps, delta, r)
+}
+
+// EstimateValuationsContext is EstimateValuations with cancellation: the
+// sampling loop stops with ctx's error shortly after ctx is done.
+func EstimateValuationsContext(ctx context.Context, db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
+	res, err := approx.KarpLubyValuationsContext(ctx, db, q, eps, delta, r)
 	if err != nil {
 		return nil, err
 	}
@@ -249,4 +258,64 @@ func IsPossible(db *Database, q Query, opts *CountOptions) (bool, error) {
 // naïve table and ignoring its attached domains (Section 7 of the paper).
 func Mu(db *Database, q Query, k int, opts *CountOptions) (*big.Rat, error) {
 	return count.MuK(db, q, k, opts)
+}
+
+// Canonical forms and fingerprints (package internal/fingerprint): inputs
+// that are identical up to null/variable renaming and fact/atom order
+// share one canonical form, the basis of the counting service's result
+// cache.
+type (
+	// FingerprintKind tags which counting problem a fingerprint caches
+	// ("val", "comp", "certain", "possible").
+	FingerprintKind = fingerprint.Kind
+)
+
+// Fingerprint kinds.
+const (
+	FingerprintVal      = fingerprint.KindVal
+	FingerprintComp     = fingerprint.KindComp
+	FingerprintCertain  = fingerprint.KindCertain
+	FingerprintPossible = fingerprint.KindPossible
+)
+
+// CanonicalDatabase returns the canonical (null-renaming-invariant) form
+// of a database: isomorphic databases — renamed nulls, reordered facts or
+// domains — share one canonical form.
+func CanonicalDatabase(db *Database) string {
+	return fingerprint.Database(db)
+}
+
+// CanonicalQuery returns the canonical (variable-renaming-invariant) form
+// of a query.
+func CanonicalQuery(q Query) string {
+	return fingerprint.Query(q)
+}
+
+// Fingerprint returns the cache key of (database, query, kind): a
+// SHA-256 over the canonical forms.
+func Fingerprint(db *Database, q Query, kind FingerprintKind) string {
+	return fingerprint.Of(db, q, kind)
+}
+
+// The counting service (package internal/server): the HTTP/JSON API
+// behind `incdb serve`, embeddable in other processes via NewServer and
+// Server.Handler.
+type (
+	// Server is the caching, job-supervising counting service.
+	Server = server.Server
+	// ServerConfig configures a Server (cache size, valuation budget,
+	// worker-pool width, job retention).
+	ServerConfig = server.Config
+	// ServiceRequest is one unit of API work.
+	ServiceRequest = server.Request
+	// ServiceResponse is the outcome of one ServiceRequest.
+	ServiceResponse = server.Response
+	// ServiceJob is the public state of an asynchronous counting job.
+	ServiceJob = server.Job
+)
+
+// NewServer returns a counting service ready to serve; see
+// Server.ListenAndServe and Server.Handler.
+func NewServer(cfg ServerConfig) *Server {
+	return server.New(cfg)
 }

@@ -7,6 +7,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -76,6 +77,17 @@ type KarpLubyResult struct {
 // for a fixed query. Corollary 5.3 of the paper guarantees such a scheme
 // exists; this is the classical construction.
 func KarpLubyValuations(db *core.Database, q cq.Query, eps, delta float64, r *rand.Rand) (*KarpLubyResult, error) {
+	return KarpLubyValuationsContext(context.Background(), db, q, eps, delta, r)
+}
+
+// klCancelCheckInterval is the number of samples the Karp–Luby loop draws
+// between polls of the cancellation context.
+const klCancelCheckInterval = 1024
+
+// KarpLubyValuationsContext is KarpLubyValuations with cancellation: the
+// sampling loop polls ctx every klCancelCheckInterval samples and returns
+// the context's error once it is done.
+func KarpLubyValuationsContext(ctx context.Context, db *core.Database, q cq.Query, eps, delta float64, r *rand.Rand) (*KarpLubyResult, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("approx: ε must lie in (0,1), got %v", eps)
 	}
@@ -98,6 +110,11 @@ func KarpLubyValuations(db *core.Database, q cq.Query, eps, delta float64, r *ra
 	// Σ 1/cnt(ν_s) as an exact rational.
 	sum := new(big.Rat)
 	for s := 0; s < n; s++ {
+		if s%klCancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		i := set.SampleIndex(r)
 		v := set.SampleValuation(i, r)
 		cnt := set.CountContaining(v)

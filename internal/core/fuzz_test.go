@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// FuzzParseDatabase asserts the parse→render→parse round trip of the
+// textual database format: any input ParseDatabaseString accepts must
+// render (Database.String) to a form that parses again, and that form
+// must be a fixpoint — renderings are canonical-by-construction even when
+// the accepted input was sloppy (odd whitespace, padded null IDs like
+// "?007", dropped unused domains).
+func FuzzParseDatabase(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# just a comment\n",
+		"uniform a b c\nR(a, ?1)\n",
+		"uniform\nR(a)\n",
+		"dom ?1 a b\ndom ?2 b\nR(?1, ?2)\nS(?2)\n",
+		"dom ?1 a b\nR(?1, ?1)\n",
+		"dom ?007 x\nR(?007)\n",
+		"R(a, b)\nR(a, b)\n",
+		"uniform a\nR(?1)\nR(?2)\nS(?1, ?2, ?1)\n",
+		"dom ?3 a\nT(c)\n",
+		"uniform a b\n# mid comment\n\nR(?1, a)\n",
+		"dom ?1\nR(?1)\n",
+		"uniform a\nR(a(b)\n",
+		"uniform a\nR( a , ?1 )\n",
+		"dom ?1 a\ndom ?1 b c\nR(?1)\n",
+		"uniform a b\nuniform c\n",
+		"dom ?x a\n",
+		"R(?0)\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := ParseDatabaseString(src)
+		if err != nil {
+			return // invalid inputs are fine; they just must not panic
+		}
+		rendered := db.String()
+		db2, err := ParseDatabaseString(rendered)
+		if err != nil {
+			t.Fatalf("ParseDatabaseString(%q) ok but rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		if again := db2.String(); again != rendered {
+			t.Fatalf("rendering is not a fixpoint: %q → %q → %q", src, rendered, again)
+		}
+	})
+}

@@ -43,6 +43,16 @@ type Options struct {
 	// counters return its error shortly after it is done.
 	Context context.Context
 
+	// Progress, when non-nil, receives shard-completion updates from the
+	// brute-force sweepers: Progress(0, total) is called once when a sweep
+	// starts, and Progress(done, total) again each time one of the total
+	// shards finishes cleanly. Calls are serialized across workers and
+	// done is non-decreasing; it reaches total only when the sweep ran to
+	// completion without cancellation. A fraction done/total is therefore
+	// a faithful progress report for the whole valuation space, since
+	// shards partition it into near-equal contiguous slices.
+	Progress func(done, total int)
+
 	// rejectedPaths records, when set by the dispatcher, why each fast
 	// path did not apply, so the brute-force guard can explain what was
 	// already tried instead of suggesting it.
@@ -68,6 +78,13 @@ func (o *Options) context() context.Context {
 		return context.Background()
 	}
 	return o.Context
+}
+
+func (o *Options) progress() func(done, total int) {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
 }
 
 // withRejected returns a copy of o carrying the dispatcher's notes on why
@@ -129,7 +146,7 @@ func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.In
 		counts[i] = big.NewInt(0)
 	}
 	one := big.NewInt(1)
-	err = sweepSharded(space, opts.context(), shards, func(shard int, v core.Valuation) bool {
+	err = sweepSharded(space, opts.context(), shards, opts.progress(), func(shard int, v core.Valuation) bool {
 		if q.Eval(db.Apply(v)) {
 			counts[shard].Add(counts[shard], one)
 		}
@@ -197,7 +214,7 @@ func bruteCompletionSweep(db *core.Database, q cq.Query, opts *Options, keepInst
 	for i := range perShard {
 		perShard[i] = newCompletionShard(keepInstances)
 	}
-	err = sweepSharded(space, opts.context(), shards, func(shard int, v core.Valuation) bool {
+	err = sweepSharded(space, opts.context(), shards, opts.progress(), func(shard int, v core.Valuation) bool {
 		perShard[shard].visit(db.Apply(v), q)
 		return true
 	})

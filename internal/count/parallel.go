@@ -70,15 +70,23 @@ func shardBounds(size *big.Int, shards int) []*big.Int {
 // shard. A false return from visit stops that shard only. sweepSharded
 // returns the context's error if the sweep was cancelled, in which case
 // the per-shard state is incomplete and must be discarded.
-func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, visit func(shard int, v core.Valuation) bool) error {
+//
+// progress, when non-nil, is notified as described by Options.Progress:
+// once with (0, shards) before enumeration starts, then with the new
+// completed-shard count each time a shard finishes without the sweep
+// having been cancelled. A progressTracker serializes the calls.
+func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, progress func(done, total int), visit func(shard int, v core.Valuation) bool) error {
 	size := space.Size()
+	tracker := newProgressTracker(progress, shards)
 	if size.Sign() == 0 {
+		tracker.finishAll(ctx)
 		return ctx.Err()
 	}
 	if shards == 1 {
 		if err := sweepShard(space, ctx, big.NewInt(0), size, 0, visit); err != nil {
 			return err
 		}
+		tracker.shardDone(ctx)
 		return ctx.Err()
 	}
 	bounds := shardBounds(size, shards)
@@ -89,6 +97,9 @@ func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, v
 		go func(w int) {
 			defer wg.Done()
 			errs[w] = sweepShard(space, ctx, bounds[w], bounds[w+1], w, visit)
+			if errs[w] == nil {
+				tracker.shardDone(ctx)
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -98,6 +109,49 @@ func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, v
 		}
 	}
 	return ctx.Err()
+}
+
+// progressTracker serializes shard-completion notifications and enforces
+// the Options.Progress contract (monotone done, no completions reported
+// after cancellation).
+type progressTracker struct {
+	mu    sync.Mutex
+	fn    func(done, total int)
+	done  int
+	total int
+}
+
+func newProgressTracker(fn func(done, total int), total int) *progressTracker {
+	t := &progressTracker{fn: fn, total: total}
+	if fn != nil {
+		fn(0, total)
+	}
+	return t
+}
+
+// shardDone records one completed shard and reports the new count, unless
+// the sweep was cancelled — a cancelled sweep's results are discarded, so
+// reporting further progress for it would be misleading.
+func (t *progressTracker) shardDone(ctx context.Context) {
+	if t.fn == nil || ctx.Err() != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	t.fn(t.done, t.total)
+}
+
+// finishAll reports the sweep complete in one step (used for empty spaces,
+// where there is nothing to enumerate).
+func (t *progressTracker) finishAll(ctx context.Context) {
+	if t.fn == nil || ctx.Err() != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done = t.total
+	t.fn(t.done, t.total)
 }
 
 // sweepShard sweeps one contiguous index interval, polling ctx every

@@ -1,0 +1,112 @@
+package count
+
+import (
+	"context"
+	"math/big"
+	"sync"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// progressLog records every Progress call, concurrency-safely (calls are
+// serialized by the tracker, but the recording itself must still be safe
+// for the race detector's benefit).
+type progressLog struct {
+	mu    sync.Mutex
+	calls [][2]int
+}
+
+func (l *progressLog) hook() func(done, total int) {
+	return func(done, total int) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.calls = append(l.calls, [2]int{done, total})
+	}
+}
+
+func (l *progressLog) snapshot() [][2]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([][2]int(nil), l.calls...)
+}
+
+func progressDB(nNulls int, dom ...string) *core.Database {
+	db := core.NewUniformDatabase(dom)
+	for i := 1; i <= nNulls; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)))
+	}
+	return db
+}
+
+// TestProgressReportsEveryShard: a completed sweep reports (0, total)
+// first, then strictly increasing done counts ending at (total, total),
+// for both the serial and the parallel engine and for both counters.
+func TestProgressReportsEveryShard(t *testing.T) {
+	db := progressDB(8, "a", "b") // 256 valuations
+	q := cq.MustParseBCQ("R(x)")
+	for _, workers := range []int{1, 4} {
+		for name, run := range map[string]func(opts *Options) error{
+			"valuations": func(opts *Options) error {
+				_, err := BruteForceValuations(db, q, opts)
+				return err
+			},
+			"completions": func(opts *Options) error {
+				_, err := BruteForceCompletions(db, q, opts)
+				return err
+			},
+		} {
+			var log progressLog
+			if err := run(&Options{Workers: workers, Progress: log.hook()}); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			calls := log.snapshot()
+			if len(calls) != workers+1 {
+				t.Fatalf("%s workers=%d: %d progress calls %v, want %d", name, workers, len(calls), calls, workers+1)
+			}
+			for i, c := range calls {
+				if c[0] != i || c[1] != workers {
+					t.Fatalf("%s workers=%d: call %d = %v, want (%d, %d)", name, workers, i, c, i, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestProgressCancelledSweep: a sweep aborted by its context never reports
+// completion — after the initial (0, total) call, no shard may be reported
+// done once the context is cancelled.
+func TestProgressCancelledSweep(t *testing.T) {
+	db := progressDB(10, "a", "b", "c", "d") // 4^10 ≈ 1M valuations
+	q := cq.MustParseBCQ("R(x)")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var log progressLog
+	_, err := BruteForceValuations(db, q, &Options{Workers: 4, Context: ctx, Progress: log.hook()})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	calls := log.snapshot()
+	if len(calls) != 1 || calls[0] != [2]int{0, 4} {
+		t.Fatalf("cancelled sweep progress calls = %v, want only the initial (0, 4)", calls)
+	}
+}
+
+// TestProgressEmptySpace: an empty valuation space completes instantly and
+// reports full progress.
+func TestProgressEmptySpace(t *testing.T) {
+	db := core.NewDatabase()
+	db.MustAddFact("R", core.Null(1))
+	db.SetDomain(1, nil)
+	var log progressLog
+	n, err := BruteForceValuations(db, cq.MustParseBCQ("R(x)"), &Options{Workers: 3, Progress: log.hook()})
+	if err != nil || n.Cmp(big.NewInt(0)) != 0 {
+		t.Fatalf("count = %v, err = %v", n, err)
+	}
+	calls := log.snapshot()
+	last := calls[len(calls)-1]
+	if last[0] != last[1] {
+		t.Fatalf("empty space did not report completion: %v", calls)
+	}
+}

@@ -1,0 +1,49 @@
+package cq
+
+import "testing"
+
+// FuzzParseQuery asserts the parse→render→parse round trip: any string
+// the parser accepts must render (Query.String) to a string the parser
+// accepts again, and that rendering must be a fixpoint. This pins the
+// parser and the renderers to one grammar — the property the canonical
+// query forms of internal/fingerprint and the serve API's echoed queries
+// rely on.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"TRUE",
+		"R(x)",
+		"R(x, x)",
+		"R(x, y) ∧ S(y)",
+		"R(x,y), S(y), T(x,z)",
+		"R(x) & S(x) AND T(x)",
+		"A(x) | B(y, y)",
+		"A(x) ∨ B(y) OR C(z)",
+		"!R(x, y)",
+		"¬(R(x) ∨ S(y))",
+		"NOT R(x, x)",
+		"R(x, y) ∧ x ≠ y",
+		"R(x, y), x != y, S(y)",
+		"!(R(x, y) ∧ x ≠ y)",
+		"R(x , y )∧S( y)",
+		"R'(x_1, x_2)",
+		"R((",
+		"R(x) ∧",
+		"x ≠ y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // invalid inputs are fine; they just must not panic
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		if again := q2.String(); again != rendered {
+			t.Fatalf("rendering is not a fixpoint: %q → %q → %q", src, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Package fingerprint computes canonical forms and content fingerprints
+// of incomplete databases and Boolean queries, so that syntactically
+// different but semantically identical inputs can share one cache entry.
+//
+// Databases are canonicalized up to null renaming and fact order: labeled
+// nulls are anonymous placeholders, so R(?1,?2) with dom(?1)={a},
+// dom(?2)={a,b} and R(?7,?3) with dom(?7)={a}, dom(?3)={b,a} describe the
+// same incomplete database and must fingerprint identically. Queries are
+// canonicalized up to variable renaming and atom order. Domain order is
+// also normalized, since the counting problems of the paper are
+// order-insensitive.
+//
+// Canonicalization is sound and best-effort complete: two inputs with the
+// same canonical form are always isomorphic (the canonical form fully
+// describes the database, so a shared form exhibits the renaming), which
+// is what cache correctness rests on. The converse — isomorphic inputs
+// always sharing a form — holds whenever iterated signature refinement
+// (a Weisfeiler–Leman-style partition of the nulls by domain and
+// occurrence structure) separates non-equivalent nulls; in the rare
+// symmetric cases it cannot, isomorphic presentations may fingerprint
+// differently, costing a cache miss but never a wrong answer.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// Kind tags which problem a fingerprint identifies a result of, so that
+// e.g. #Val and #Comp results over the same input never collide.
+type Kind string
+
+// The problem kinds used as cache-key components.
+const (
+	KindVal      Kind = "val"
+	KindComp     Kind = "comp"
+	KindCertain  Kind = "certain"
+	KindPossible Kind = "possible"
+)
+
+// Of returns the fingerprint of the triple (database, query, problem
+// kind): a hex-encoded SHA-256 of their canonical forms, suitable as a
+// cache key.
+func Of(db *core.Database, q cq.Query, kind Kind) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(Database(db)))
+	h.Write([]byte{0})
+	h.Write([]byte(Query(q)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Database returns the canonical form of db: nulls renamed to ?1, ?2, …
+// in a renaming-invariant order, domains sorted, facts rendered with the
+// canonical null names and sorted. Equal canonical forms mean the
+// databases are identical up to null renaming and fact/domain order (and
+// therefore have identical counting behaviour). The form is textual for
+// debuggability but is not a round-trippable database file: domain and
+// fact order are deliberately discarded.
+func Database(db *core.Database) string {
+	nulls := db.Nulls()
+	rank := canonicalNullOrder(db, nulls)
+	var b strings.Builder
+	if db.Uniform() {
+		b.WriteString("uniform")
+		for _, c := range sortedCopy(db.UniformDomain()) {
+			b.WriteByte(' ')
+			b.WriteString(strconv.Quote(c))
+		}
+		b.WriteByte('\n')
+	} else {
+		// Domain lines in canonical null order.
+		lines := make([]string, len(nulls))
+		for _, n := range nulls {
+			lines[rank[n]-1] = "dom ?" + strconv.Itoa(rank[n]) + domainString(db.Domain(n))
+		}
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	facts := make([]string, 0, len(db.Facts()))
+	for _, f := range db.Facts() {
+		var fb strings.Builder
+		fb.WriteString(f.Rel)
+		fb.WriteByte('(')
+		for i, a := range f.Args {
+			if i > 0 {
+				fb.WriteString(", ")
+			}
+			if a.IsNull() {
+				fb.WriteByte('?')
+				fb.WriteString(strconv.Itoa(rank[a.NullID()]))
+			} else {
+				fb.WriteString(strconv.Quote(a.Constant()))
+			}
+		}
+		fb.WriteByte(')')
+		facts = append(facts, fb.String())
+	}
+	sort.Strings(facts)
+	b.WriteString(strings.Join(facts, "\n"))
+	return b.String()
+}
+
+func domainString(dom []string) string {
+	if dom == nil {
+		return " <nodomain>"
+	}
+	var b strings.Builder
+	for _, c := range sortedCopy(dom) {
+		b.WriteByte(' ')
+		b.WriteString(strconv.Quote(c))
+	}
+	return b.String()
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// canonicalNullOrder assigns each null a canonical index 1..k. Nulls are
+// partitioned by iterated signature refinement — the initial signature is
+// the null's (sorted) domain, and each round folds in the multiset of the
+// null's occurrence contexts (relation, position, and the current
+// signatures of the co-occurring values) — and ordered by final
+// signature. Refinement only ever splits classes, so it stabilizes within
+// len(nulls) rounds. Ties inside a stable class are broken by original ID:
+// for truly symmetric (automorphic) nulls any order yields the same
+// canonical form, and for the rare refinement-indistinguishable
+// non-symmetric nulls the result is still deterministic, merely not
+// renaming-invariant.
+func canonicalNullOrder(db *core.Database, nulls []core.NullID) map[core.NullID]int {
+	sig := make(map[core.NullID]string, len(nulls))
+	for _, n := range nulls {
+		sig[n] = "dom" + domainString(db.Domain(n))
+	}
+	facts := db.Facts()
+	classes := countClasses(nulls, sig)
+	for round := 0; round < len(nulls); round++ {
+		occ := make(map[core.NullID][]string, len(nulls))
+		for _, f := range facts {
+			for pos, a := range f.Args {
+				if a.IsNull() {
+					occ[a.NullID()] = append(occ[a.NullID()], occurrenceContext(f, pos, sig))
+				}
+			}
+		}
+		next := make(map[core.NullID]string, len(nulls))
+		for _, n := range nulls {
+			o := occ[n]
+			sort.Strings(o)
+			next[n] = shortHash(sig[n] + "\x1f" + strings.Join(o, "\x1e"))
+		}
+		nextClasses := countClasses(nulls, next)
+		sig = next
+		if nextClasses == classes {
+			break // refinement reached a fixpoint
+		}
+		classes = nextClasses
+	}
+	order := append([]core.NullID(nil), nulls...)
+	sort.Slice(order, func(i, j int) bool {
+		if sig[order[i]] != sig[order[j]] {
+			return sig[order[i]] < sig[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rank := make(map[core.NullID]int, len(order))
+	for i, n := range order {
+		rank[n] = i + 1
+	}
+	return rank
+}
+
+// occurrenceContext describes one occurrence of the null at position pos
+// of fact f, in terms of renaming-invariant data only: the relation, the
+// position, and each argument rendered as a constant, as "this same
+// null", or as the current signature of another null.
+func occurrenceContext(f core.Fact, pos int, sig map[core.NullID]string) string {
+	self := f.Args[pos].NullID()
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(pos))
+	for _, a := range f.Args {
+		b.WriteByte('\x1d')
+		switch {
+		case !a.IsNull():
+			b.WriteString("c" + strconv.Quote(a.Constant()))
+		case a.NullID() == self:
+			b.WriteString("=")
+		default:
+			b.WriteString("n" + sig[a.NullID()])
+		}
+	}
+	return b.String()
+}
+
+func countClasses[K comparable](keys []K, sig map[K]string) int {
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[sig[k]] = true
+	}
+	return len(seen)
+}
+
+func shortHash(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:12])
+}
+
+// Query returns the canonical form of q: variables renamed to x1, x2, …
+// in a renaming-invariant order (by the same refinement scheme as
+// Database), atoms sorted, union disjuncts sorted, inequality pairs
+// normalized. The form uses the syntax accepted by cq.Parse. Queries
+// outside the parseable fragment (cq.Func and other user-supplied types)
+// are rendered by name with an "opaque:" marker and are canonical only up
+// to that name.
+func Query(q cq.Query) string {
+	switch q := q.(type) {
+	case cq.Tautology, *cq.Tautology:
+		return "TRUE"
+	case *cq.Negation:
+		return "!(" + Query(q.Inner) + ")"
+	case *cq.UCQ:
+		parts := make([]string, len(q.Disjuncts))
+		for i, d := range q.Disjuncts {
+			parts[i] = canonicalConjunction(d.Atoms, nil)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, " | ")
+	case *cq.BCQ:
+		return canonicalConjunction(q.Atoms, nil)
+	case *cq.BCQNeq:
+		return canonicalConjunction(q.Base.Atoms, q.Diffs)
+	default:
+		return "opaque:" + q.String()
+	}
+}
+
+// canonicalConjunction canonicalizes one conjunction of relational atoms
+// plus optional inequality pairs.
+func canonicalConjunction(atoms []cq.Atom, diffs [][2]string) string {
+	vars := distinctVars(atoms, diffs)
+	rank := canonicalVarOrder(atoms, diffs, vars)
+	name := func(v string) string { return "x" + strconv.Itoa(rank[v]) }
+	parts := make([]string, 0, len(atoms)+len(diffs))
+	for _, a := range atoms {
+		renamed := make([]string, len(a.Vars))
+		for i, v := range a.Vars {
+			renamed[i] = name(v)
+		}
+		parts = append(parts, a.Rel+"("+strings.Join(renamed, ", ")+")")
+	}
+	sort.Strings(parts)
+	ineqs := make([]string, 0, len(diffs))
+	for _, d := range diffs {
+		lo, hi := name(d[0]), name(d[1])
+		if rank[d[0]] > rank[d[1]] {
+			lo, hi = hi, lo
+		}
+		ineqs = append(ineqs, lo+" != "+hi)
+	}
+	sort.Strings(ineqs)
+	return strings.Join(append(parts, ineqs...), " ∧ ")
+}
+
+func distinctVars(atoms []cq.Atom, diffs [][2]string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, a := range atoms {
+		for _, v := range a.Vars {
+			add(v)
+		}
+	}
+	for _, d := range diffs {
+		add(d[0])
+		add(d[1])
+	}
+	return out
+}
+
+// canonicalVarOrder is the variable analogue of canonicalNullOrder: the
+// initial signature is empty (variables carry no data of their own), and
+// each refinement round folds in the multiset of occurrence contexts —
+// (relation, position, co-occurring variable signatures) for atom
+// occurrences and the partner's signature for inequality occurrences.
+func canonicalVarOrder(atoms []cq.Atom, diffs [][2]string, vars []string) map[string]int {
+	sig := make(map[string]string, len(vars))
+	for _, v := range vars {
+		sig[v] = ""
+	}
+	classes := countClasses(vars, sig)
+	for round := 0; round < len(vars); round++ {
+		occ := make(map[string][]string, len(vars))
+		for _, a := range atoms {
+			for pos, v := range a.Vars {
+				occ[v] = append(occ[v], varContext(a, pos, sig))
+			}
+		}
+		for _, d := range diffs {
+			occ[d[0]] = append(occ[d[0]], "!="+sig[d[1]])
+			occ[d[1]] = append(occ[d[1]], "!="+sig[d[0]])
+		}
+		next := make(map[string]string, len(vars))
+		for _, v := range vars {
+			o := occ[v]
+			sort.Strings(o)
+			next[v] = shortHash(sig[v] + "\x1f" + strings.Join(o, "\x1e"))
+		}
+		nextClasses := countClasses(vars, next)
+		sig = next
+		if nextClasses == classes {
+			break
+		}
+		classes = nextClasses
+	}
+	order := append([]string(nil), vars...)
+	sort.Slice(order, func(i, j int) bool {
+		if sig[order[i]] != sig[order[j]] {
+			return sig[order[i]] < sig[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rank := make(map[string]int, len(order))
+	for i, v := range order {
+		rank[v] = i + 1
+	}
+	return rank
+}
+
+// varContext describes one occurrence of the variable at position pos of
+// atom a, renaming-invariantly.
+func varContext(a cq.Atom, pos int, sig map[string]string) string {
+	self := a.Vars[pos]
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(pos))
+	for _, v := range a.Vars {
+		b.WriteByte('\x1d')
+		if v == self {
+			b.WriteString("=")
+		} else {
+			b.WriteString("v" + sig[v])
+		}
+	}
+	return b.String()
+}
+
+// Renamed returns a copy of db with its nulls renamed by the given
+// mapping; nulls absent from the mapping keep their IDs. It is exported
+// for tests and tools that construct isomorphic presentations.
+func Renamed(db *core.Database, mapping map[core.NullID]core.NullID) (*core.Database, error) {
+	rename := func(n core.NullID) core.NullID {
+		if m, ok := mapping[n]; ok {
+			return m
+		}
+		return n
+	}
+	var out *core.Database
+	if db.Uniform() {
+		out = core.NewUniformDatabase(db.UniformDomain())
+	} else {
+		out = core.NewDatabase()
+		for _, n := range db.Nulls() {
+			if dom := db.Domain(n); dom != nil {
+				if err := out.SetDomain(rename(n), dom); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, f := range db.Facts() {
+		args := make([]core.Value, len(f.Args))
+		for i, a := range f.Args {
+			if a.IsNull() {
+				args[i] = core.Null(rename(a.NullID()))
+			} else {
+				args[i] = a
+			}
+		}
+		if err := out.AddFact(f.Rel, args...); err != nil {
+			return nil, err
+		}
+	}
+	// A non-injective mapping would silently merge nulls; reject it.
+	if len(out.Nulls()) != len(db.Nulls()) {
+		return nil, fmt.Errorf("fingerprint: null renaming is not injective on the database's nulls")
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// randomDB builds a random non-uniform database over a small schema, with
+// repeated nulls (naïve-table structure) and per-null domains.
+func randomDB(r *rand.Rand) *core.Database {
+	db := core.NewDatabase()
+	alphabet := []string{"a", "b", "c", "d"}
+	nNulls := 1 + r.Intn(5)
+	for n := 1; n <= nNulls; n++ {
+		size := 1 + r.Intn(3)
+		dom := make([]string, size)
+		for i := range dom {
+			dom[i] = alphabet[(r.Intn(len(alphabet))+i)%len(alphabet)]
+		}
+		db.SetDomain(core.NullID(n), dom)
+	}
+	schema := map[string]int{"R": 2, "S": 1, "T": 3}
+	for rel, arity := range schema {
+		nf := r.Intn(4)
+		for f := 0; f < nf; f++ {
+			args := make([]core.Value, arity)
+			for i := range args {
+				if r.Intn(2) == 0 {
+					args[i] = core.Null(core.NullID(1 + r.Intn(nNulls)))
+				} else {
+					args[i] = core.Const(alphabet[r.Intn(len(alphabet))])
+				}
+			}
+			db.MustAddFact(rel, args...)
+		}
+	}
+	return db
+}
+
+// scramble returns an isomorphic presentation of db: null IDs mapped
+// through a random injection, facts re-inserted in a random order, and
+// each domain's element order rotated.
+func scramble(t *testing.T, r *rand.Rand, db *core.Database) *core.Database {
+	t.Helper()
+	nulls := db.Nulls()
+	perm := r.Perm(len(nulls))
+	mapping := make(map[core.NullID]core.NullID, len(nulls))
+	for i, n := range nulls {
+		mapping[n] = core.NullID(100 + perm[i]*7) // disjoint, gappy, shuffled IDs
+	}
+	renamed, err := Renamed(db, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *core.Database
+	if renamed.Uniform() {
+		dom := renamed.UniformDomain()
+		rot := append(append([]string(nil), dom[len(dom)/2:]...), dom[:len(dom)/2]...)
+		out = core.NewUniformDatabase(rot)
+	} else {
+		out = core.NewDatabase()
+		for _, n := range renamed.Nulls() {
+			dom := renamed.Domain(n)
+			rot := append(append([]string(nil), dom[len(dom)/2:]...), dom[:len(dom)/2]...)
+			out.SetDomain(n, rot)
+		}
+	}
+	facts := append([]core.Fact(nil), renamed.Facts()...)
+	r.Shuffle(len(facts), func(i, j int) { facts[i], facts[j] = facts[j], facts[i] })
+	for _, f := range facts {
+		out.MustAddFact(f.Rel, f.Args...)
+	}
+	return out
+}
+
+// TestDatabaseCanonicalInvariance: null-renamed, fact-reordered,
+// domain-rotated presentations of the same database share one canonical
+// form and one fingerprint.
+func TestDatabaseCanonicalInvariance(t *testing.T) {
+	q := cq.MustParseBCQ("R(x, y) ∧ S(x)")
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		iso := scramble(t, r, db)
+		c1, c2 := Database(db), Database(iso)
+		if c1 != c2 {
+			t.Fatalf("seed %d: canonical forms differ\n--- original\n%s\n--- scrambled\n%s\ncanon1:\n%s\ncanon2:\n%s",
+				seed, db, iso, c1, c2)
+		}
+		if Of(db, q, KindVal) != Of(iso, q, KindVal) {
+			t.Fatalf("seed %d: fingerprints differ for isomorphic databases", seed)
+		}
+	}
+}
+
+// TestDatabaseUniformInvariance: the same property for uniform databases.
+func TestDatabaseUniformInvariance(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	db.MustAddFact("R", core.Null(2), core.Const("a"))
+	db.MustAddFact("S", core.Null(3))
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		iso := scramble(t, r, db)
+		if Database(db) != Database(iso) {
+			t.Fatalf("seed %d: uniform canonical forms differ:\n%s\nvs\n%s", seed, Database(db), Database(iso))
+		}
+	}
+}
+
+// TestDatabaseSymmetricNulls: fully symmetric (automorphic) nulls still
+// canonicalize identically under swapping.
+func TestDatabaseSymmetricNulls(t *testing.T) {
+	build := func(a, b core.NullID) *core.Database {
+		db := core.NewUniformDatabase([]string{"x", "y"})
+		db.MustAddFact("R", core.Null(a))
+		db.MustAddFact("R", core.Null(b))
+		db.MustAddFact("S", core.Null(a), core.Null(b))
+		db.MustAddFact("S", core.Null(b), core.Null(a))
+		return db
+	}
+	if Database(build(1, 2)) != Database(build(2, 1)) {
+		t.Fatalf("swapping symmetric nulls changed the canonical form:\n%s\nvs\n%s",
+			Database(build(1, 2)), Database(build(2, 1)))
+	}
+}
+
+// TestDatabaseDistinctions: genuinely different databases — a changed
+// domain, a changed constant, an extra fact, or different null sharing —
+// produce different canonical forms.
+func TestDatabaseDistinctions(t *testing.T) {
+	base := func() *core.Database {
+		db := core.NewDatabase()
+		db.MustAddFact("R", core.Null(1), core.Null(2))
+		db.MustAddFact("S", core.Null(2))
+		db.SetDomain(1, []string{"a", "b"})
+		db.SetDomain(2, []string{"a", "b", "c"})
+		return db
+	}
+	domChanged := base()
+	domChanged.SetDomain(1, []string{"a", "c"})
+
+	extraFact := base()
+	extraFact.MustAddFact("S", core.Const("a"))
+
+	// Same facts, but ?2 in S replaced by ?1: different sharing structure.
+	sharing := core.NewDatabase()
+	sharing.MustAddFact("R", core.Null(1), core.Null(2))
+	sharing.MustAddFact("S", core.Null(1))
+	sharing.SetDomain(1, []string{"a", "b"})
+	sharing.SetDomain(2, []string{"a", "b", "c"})
+
+	ref := Database(base())
+	for name, db := range map[string]*core.Database{
+		"domain changed":  domChanged,
+		"extra fact":      extraFact,
+		"sharing changed": sharing,
+	} {
+		if Database(db) == ref {
+			t.Errorf("%s: canonical form did not change:\n%s", name, ref)
+		}
+	}
+
+	// Swapped domains between structurally distinguishable nulls differ too.
+	swapped := core.NewDatabase()
+	swapped.MustAddFact("R", core.Null(1), core.Null(2))
+	swapped.MustAddFact("S", core.Null(2))
+	swapped.SetDomain(1, []string{"a", "b", "c"})
+	swapped.SetDomain(2, []string{"a", "b"})
+	if Database(swapped) == ref {
+		t.Errorf("swapping the two domains did not change the canonical form")
+	}
+}
+
+// TestKindSeparatesFingerprints: the same (db, q) under different problem
+// kinds yields different cache keys.
+func TestKindSeparatesFingerprints(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a"})
+	db.MustAddFact("R", core.Null(1))
+	q := cq.MustParseBCQ("R(x)")
+	seen := map[string]Kind{}
+	for _, k := range []Kind{KindVal, KindComp, KindCertain, KindPossible} {
+		fp := Of(db, q, k)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("kinds %s and %s collide on %s", prev, k, fp)
+		}
+		seen[fp] = k
+	}
+}
+
+// TestQueryCanonicalInvariance: variable-renamed and atom-reordered
+// queries share a canonical form, which itself parses back to the same
+// canonical form (idempotence).
+func TestQueryCanonicalInvariance(t *testing.T) {
+	groups := [][]string{
+		{"R(x, y) ∧ S(y)", "S(b) ∧ R(a, b)", "R(q, w), S(w)"},
+		{"R(x, x)", "R(z, z)"},
+		{"R(x, y) ∧ S(x) ∧ T(y)", "T(k) ∧ R(j, k) ∧ S(j)"},
+		{"A(x) | B(y, y)", "B(q, q) | A(z)"},
+		{"!R(x, y)", "! R(a, b)"},
+		{"R(x, y) ∧ x ≠ y", "R(a, b) ∧ b != a"},
+		{"TRUE"},
+	}
+	for gi, group := range groups {
+		var canon string
+		for _, s := range group {
+			q, err := cq.Parse(s)
+			if err != nil {
+				t.Fatalf("group %d: parse %q: %v", gi, s, err)
+			}
+			c := Query(q)
+			if canon == "" {
+				canon = c
+			} else if c != canon {
+				t.Errorf("group %d: %q canonicalizes to %q, want %q", gi, s, c, canon)
+			}
+			if !strings.HasPrefix(c, "opaque:") {
+				reparsed, err := cq.Parse(c)
+				if err != nil {
+					t.Fatalf("group %d: canonical form %q does not parse: %v", gi, c, err)
+				}
+				if Query(reparsed) != c {
+					t.Errorf("group %d: canonicalization not idempotent: %q → %q", gi, c, Query(reparsed))
+				}
+			}
+		}
+	}
+}
+
+// TestQueryDistinctions: semantically different queries canonicalize
+// differently.
+func TestQueryDistinctions(t *testing.T) {
+	queries := []string{
+		"R(x, x)",
+		"R(x, y)",
+		"R(x, y) ∧ S(x)",
+		"R(x, y) ∧ S(y)",
+		"R(x, y) ∧ S(x) ∧ S'(y)",
+		"R(x, y) | S(x)",
+		"!R(x, y)",
+		"R(x, y) ∧ x ≠ y",
+		"TRUE",
+	}
+	seen := map[string]string{}
+	for _, s := range queries {
+		q, err := cq.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Query(q)
+		if prev, dup := seen[c]; dup {
+			t.Errorf("%q and %q share canonical form %q", prev, s, c)
+		}
+		seen[c] = s
+	}
+}
+
+// TestRenamedRejectsMerging: a non-injective renaming is an error, not a
+// silent merge.
+func TestRenamedRejectsMerging(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a"})
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	if _, err := Renamed(db, map[core.NullID]core.NullID{1: 5, 2: 5}); err == nil {
+		t.Fatal("merging renaming accepted")
+	}
+}

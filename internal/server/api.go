@@ -1,0 +1,186 @@
+package server
+
+// The JSON wire types of the counting service. They are also used by the
+// -json mode of the incdb command-line tool, so scripted pipelines see one
+// schema whether they shell out or speak HTTP.
+
+// Operation names accepted in Request.Op (and implied by the dedicated
+// endpoints).
+const (
+	OpCount    = "count"
+	OpEstimate = "estimate"
+	OpClassify = "classify"
+	OpCertain  = "certain"
+	OpPossible = "possible"
+)
+
+// Kinds of counts for OpCount.
+const (
+	KindVal  = "val"
+	KindComp = "comp"
+)
+
+// Request is one unit of work: a database (textual format of
+// core.ParseDatabase), a query (syntax of cq.Parse), and parameters. On
+// the dedicated endpoints (/v1/count, /v1/estimate, …) Op may be omitted;
+// on /v1/batch and /v1/jobs it selects the operation (jobs support only
+// OpCount).
+type Request struct {
+	Op       string `json:"op,omitempty"`
+	Database string `json:"database,omitempty"`
+	Query    string `json:"query,omitempty"`
+
+	// Kind selects what OpCount counts: "val" (valuations) or "comp"
+	// (completions). Default "val".
+	Kind string `json:"kind,omitempty"`
+
+	// MaxValuations lowers the brute-force guard below the server's
+	// per-request budget; it can never raise it above the server's cap.
+	MaxValuations int64 `json:"max_valuations,omitempty"`
+
+	// Karp–Luby parameters for OpEstimate.
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+
+	// ForceBrute makes a job bypass the dispatcher's fast paths and run
+	// the sharded brute-force sweep, the workload the async job API
+	// exists for. Ignored outside /v1/jobs.
+	ForceBrute bool `json:"force_brute,omitempty"`
+}
+
+// Response is the outcome of one Request. Which fields are set depends on
+// the operation: Count/Method for counts and estimates, Holds for
+// certain/possible, Classification for classify. In batch responses a
+// failed item carries Error and its other fields are empty.
+type Response struct {
+	Op    string `json:"op"`
+	Query string `json:"query,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+
+	// Count is the exact count (or the estimate) as a decimal string, so
+	// arbitrarily large values survive JSON.
+	Count string `json:"count,omitempty"`
+
+	// Holds is the verdict of certain/possible.
+	Holds *bool `json:"holds,omitempty"`
+
+	// Method names the algorithm that produced the result.
+	Method string `json:"method,omitempty"`
+
+	// Classification is the Table 1 outcome of classify.
+	Classification []ClassifyResult `json:"classification,omitempty"`
+
+	// Fingerprint is the canonical cache key of (database, query, kind);
+	// isomorphic inputs share it.
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Cached reports that the result was served from the result cache
+	// rather than recomputed.
+	Cached bool `json:"cached,omitempty"`
+
+	// DurationMS is the server-side time spent producing this response
+	// (near zero for cache hits).
+	DurationMS float64 `json:"duration_ms"`
+
+	// Error is set on per-item failures in batch responses.
+	Error string `json:"error,omitempty"`
+}
+
+// clone returns a copy of r so cached responses can be annotated
+// per-request without mutating the cache's entry.
+func (r *Response) clone() *Response {
+	c := *r
+	if r.Classification != nil {
+		c.Classification = append([]ClassifyResult(nil), r.Classification...)
+	}
+	if r.Holds != nil {
+		h := *r.Holds
+		c.Holds = &h
+	}
+	return &c
+}
+
+// ClassifyResult is one row of a classification: the complexity of one of
+// the eight problem variants of Table 1 for the query.
+type ClassifyResult struct {
+	Variant     string `json:"variant"`
+	Complexity  string `json:"complexity"`
+	Approx      string `json:"approx"`
+	HardPattern string `json:"hard_pattern,omitempty"`
+	Reference   string `json:"reference"`
+}
+
+// BatchRequest carries many independent requests executed concurrently.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse returns one Response per request, in request order.
+type BatchResponse struct {
+	Responses []*Response `json:"responses"`
+}
+
+// Job statuses. A job is terminal once its status is JobDone, JobFailed
+// or JobCancelled.
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Job is the public state of an asynchronous counting job.
+type Job struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+
+	// Progress is the completed fraction of the valuation-space sweep, in
+	// [0, 1]: ShardsDone/ShardsTotal while running, 1 on completion.
+	Progress    float64 `json:"progress"`
+	ShardsDone  int     `json:"shards_done"`
+	ShardsTotal int     `json:"shards_total"`
+
+	// CancelRequested reports that DELETE was received; the job turns
+	// JobCancelled once the worker pool has actually stopped.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+
+	// Request echoes the submitted request with Database elided (it can
+	// be megabytes and the client already has it); DatabaseBytes records
+	// its size.
+	Request       Request `json:"request"`
+	DatabaseBytes int     `json:"database_bytes,omitempty"`
+
+	Result     *Response `json:"result,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	CreatedAt  string    `json:"created_at"`
+	FinishedAt string    `json:"finished_at,omitempty"`
+}
+
+// JobList is the response of GET /v1/jobs.
+type JobList struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+// Stats is the response of GET /v1/stats: cache and deduplication
+// counters that make the service's sharing behaviour observable.
+type Stats struct {
+	CacheEntries int   `json:"cache_entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+
+	// Computations counts actual evaluations — cache hits and
+	// single-flight followers do not increment it.
+	Computations int64 `json:"computations"`
+
+	// FlightShared counts requests that attached to an identical
+	// in-flight computation instead of starting their own.
+	FlightShared int64 `json:"flight_shared"`
+
+	Jobs map[string]int `json:"jobs,omitempty"`
+}
+
+// errorBody is the JSON shape of top-level HTTP errors.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a concurrency-safe LRU of finished responses, keyed by
+// canonical fingerprint. Entries are immutable once inserted; readers get
+// the shared pointer and must clone before annotating.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// add inserts (or refreshes) key → resp, evicting the least recently used
+// entry when the cache is full.
+func (c *resultCache) add(key string, resp *Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// jobState is the server-side record of one asynchronous job. The public
+// fields live in job and are read and written under mu; snapshot hands
+// consistent copies to handlers.
+type jobState struct {
+	mu       sync.Mutex
+	job      Job
+	created  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	// done is closed when the job's goroutine has fully stopped — i.e.
+	// the underlying worker-pool sweep has returned.
+	done chan struct{}
+}
+
+func (st *jobState) snapshot() *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.job
+	if j.Result != nil {
+		j.Result = j.Result.clone()
+	}
+	// The submitted database can be megabytes; echoing it back on every
+	// progress poll (and for every retained job in a listing) would
+	// dwarf the payload that matters. Clients keep their own copy.
+	j.DatabaseBytes = len(j.Request.Database)
+	j.Request.Database = ""
+	j.CreatedAt = st.created.UTC().Format(time.RFC3339Nano)
+	if !st.finished.IsZero() {
+		j.FinishedAt = st.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return &j
+}
+
+// setProgress records a shard-completion update from the sweep. Progress
+// only ever moves forward: late or duplicate callbacks cannot make the
+// reported fraction go backwards.
+func (st *jobState) setProgress(done, total int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.job.Status != JobRunning {
+		return
+	}
+	if total > 0 && (st.job.ShardsTotal != total || done > st.job.ShardsDone) {
+		st.job.ShardsDone = done
+		st.job.ShardsTotal = total
+		st.job.Progress = float64(done) / float64(total)
+	}
+}
+
+// finish moves the job to a terminal status.
+func (st *jobState) finish(status string, result *Response, errMsg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.job.Status = status
+	st.job.Result = result
+	st.job.Error = errMsg
+	st.finished = time.Now()
+	if status == JobDone {
+		st.job.Progress = 1
+		if st.job.ShardsTotal > 0 {
+			st.job.ShardsDone = st.job.ShardsTotal
+		}
+	}
+}
+
+// requestCancel flags the job and cancels its context. It reports whether
+// the job was still running; a terminal job is left untouched (its status
+// will never change, so flagging it would promise a cancellation that
+// cannot happen).
+func (st *jobState) requestCancel() bool {
+	st.mu.Lock()
+	running := st.job.Status == JobRunning
+	if running {
+		st.job.CancelRequested = true
+	}
+	st.mu.Unlock()
+	if running {
+		st.cancel()
+	}
+	return running
+}
+
+func (st *jobState) terminal() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.job.Status != JobRunning
+}
+
+// jobManager is the concurrency-safe registry of jobs. It retains
+// terminal jobs (so clients can fetch results) up to a cap, pruning the
+// oldest terminal ones first.
+type jobManager struct {
+	mu    sync.Mutex
+	jobs  map[string]*jobState
+	order []string // creation order
+	max   int
+	seq   int64
+}
+
+func newJobManager(max int) *jobManager {
+	return &jobManager{jobs: make(map[string]*jobState), max: max}
+}
+
+// register creates and stores a new running job for req, returning its
+// state with the context the job must run under.
+func (m *jobManager) register(parent context.Context, req Request) (*jobState, context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("job-%d-%s", m.seq, randHex(4))
+	st := &jobState{
+		job:     Job{ID: id, Status: JobRunning, Request: req},
+		created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	m.jobs[id] = st
+	m.order = append(m.order, id)
+	m.pruneLocked()
+	m.mu.Unlock()
+	return st, ctx
+}
+
+// pruneLocked evicts the oldest terminal jobs while over capacity.
+// Running jobs are never evicted, so the registry can transiently exceed
+// max when many jobs run at once.
+func (m *jobManager) pruneLocked() {
+	if m.max <= 0 || len(m.jobs) <= m.max {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		st, ok := m.jobs[id]
+		if ok && len(m.jobs) > m.max && st.terminal() {
+			delete(m.jobs, id)
+			continue
+		}
+		if ok {
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
+}
+
+func (m *jobManager) get(id string) (*jobState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.jobs[id]
+	return st, ok
+}
+
+// list returns snapshots of all retained jobs in creation order.
+func (m *jobManager) list() []*Job {
+	m.mu.Lock()
+	states := make([]*jobState, 0, len(m.jobs))
+	for _, id := range m.order {
+		if st, ok := m.jobs[id]; ok {
+			states = append(states, st)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]*Job, len(states))
+	for i, st := range states {
+		out[i] = st.snapshot()
+	}
+	return out
+}
+
+// statusCounts tallies jobs by status for the stats endpoint, without
+// materializing full snapshots.
+func (m *jobManager) statusCounts() map[string]int {
+	m.mu.Lock()
+	states := make([]*jobState, 0, len(m.jobs))
+	for _, st := range m.jobs {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	counts := make(map[string]int)
+	for _, st := range states {
+		st.mu.Lock()
+		counts[st.job.Status]++
+		st.mu.Unlock()
+	}
+	return counts
+}
+
+// cancelAll cancels every running job (server shutdown).
+func (m *jobManager) cancelAll() {
+	m.mu.Lock()
+	states := make([]*jobState, 0, len(m.jobs))
+	for _, st := range m.jobs {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	for _, st := range states {
+		st.cancel()
+	}
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := cryptorand.Read(b); err != nil {
+		// Fall back to the sequence number alone; IDs stay unique because
+		// the caller combines them with m.seq.
+		return "0"
+	}
+	return hex.EncodeToString(b)
+}

@@ -1,0 +1,637 @@
+// Package server implements the incdb counting service: an HTTP/JSON API
+// over the incompletedb library that answers classification and
+// polynomial-time counting requests synchronously, deduplicates and
+// caches results, and supervises potentially exponential brute-force
+// sweeps as asynchronous, cancellable jobs.
+//
+// The service layer mirrors the shape of the paper's dichotomy (Arenas,
+// Barceló and Monet, PODS 2020): FP-side requests are cheap and answered
+// inline; #P-hard instances either go through the Karp–Luby FPRAS
+// (/v1/estimate) or through the async job API (/v1/jobs), which runs the
+// sharded valuation-space sweep of internal/count on a worker pool with
+// context cancellation and per-shard progress reporting.
+//
+// Results of count/certain/possible requests are cached in an LRU keyed
+// by the canonical fingerprint of (database, query, kind) — see
+// internal/fingerprint — so syntactically different but isomorphic inputs
+// (renamed nulls, reordered facts, renamed query variables) share one
+// entry, and concurrent identical requests share one computation via
+// single-flight deduplication.
+//
+// Endpoints:
+//
+//	GET    /healthz            liveness probe
+//	GET    /v1/stats           cache/dedup counters and job tallies
+//	POST   /v1/classify        Table 1 classification of an sjfBCQ
+//	POST   /v1/count           #Val / #Comp, cached, single-flight
+//	POST   /v1/certain         certainty (all completions satisfy q)
+//	POST   /v1/possible        possibility (some completion satisfies q)
+//	POST   /v1/estimate        Karp–Luby FPRAS for #Val (uncached)
+//	POST   /v1/batch           many requests in one call, run concurrently
+//	POST   /v1/jobs            start an async (brute-force) counting job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status, progress, result
+//	DELETE /v1/jobs/{id}       cancel a running job
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/incompletedb/incompletedb/internal/approx"
+	"github.com/incompletedb/incompletedb/internal/classify"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/fingerprint"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCacheSize = 1024
+	DefaultMaxJobs   = 1024
+	// maxRequestBody bounds request bodies (databases are text; 8 MiB is
+	// far beyond any instance the brute-force guard would accept).
+	maxRequestBody = 8 << 20
+)
+
+// Config configures a Server.
+type Config struct {
+	// CacheSize is the number of results the LRU retains; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+
+	// MaxValuations is the per-request valuation budget: the hard cap on
+	// brute-force sweep size. Requests may lower it but never exceed it.
+	// 0 means count.DefaultMaxValuations.
+	MaxValuations int64
+
+	// Workers is the worker-pool width for each brute-force sweep; 0
+	// means one worker per CPU.
+	Workers int
+
+	// MaxJobs caps how many (terminal) jobs the registry retains; 0
+	// means DefaultMaxJobs.
+	MaxJobs int
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize == 0 {
+		return DefaultCacheSize
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxValuations() int64 {
+	if c.MaxValuations <= 0 {
+		return count.DefaultMaxValuations
+	}
+	return c.MaxValuations
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs <= 0 {
+		return DefaultMaxJobs
+	}
+	return c.MaxJobs
+}
+
+// Server is the counting service. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg    Config
+	cache  *resultCache
+	flight *flightGroup
+	jobs   *jobManager
+	mux    *http.ServeMux
+
+	// root is the lifetime context of background work (sync computations
+	// and jobs); Close cancels it.
+	root      context.Context
+	closeRoot context.CancelFunc
+
+	hits, misses, computations, shared atomic.Int64
+}
+
+// New returns a Server ready to serve. Call Close when done to stop any
+// jobs still running.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.cacheSize()),
+		flight: newFlightGroup(),
+		jobs:   newJobManager(cfg.maxJobs()),
+	}
+	s.root, s.closeRoot = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/classify", s.handleOp(OpClassify))
+	s.mux.HandleFunc("POST /v1/count", s.handleOp(OpCount))
+	s.mux.HandleFunc("POST /v1/certain", s.handleOp(OpCertain))
+	s.mux.HandleFunc("POST /v1/possible", s.handleOp(OpPossible))
+	s.mux.HandleFunc("POST /v1/estimate", s.handleOp(OpEstimate))
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels all running jobs and in-flight background computations.
+func (s *Server) Close() { s.closeRoot(); s.jobs.cancelAll() }
+
+// Serve serves the API on ln until ctx is cancelled, then shuts down
+// gracefully and closes the server.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		s.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+		return nil
+	case err := <-errc:
+		s.Close()
+		return err
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		CacheEntries: s.cache.len(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Computations: s.computations.Load(),
+		FlightShared: s.shared.Load(),
+		Jobs:         s.jobs.statusCounts(),
+	}
+}
+
+// Execute runs one request synchronously and returns its response; errors
+// are returned as a Response with Error set. It is the programmatic
+// equivalent of the single-operation endpoints and what /v1/batch runs
+// per item.
+func (s *Server) Execute(req Request) *Response {
+	resp, err := s.execute(req)
+	if err != nil {
+		return &Response{Op: req.Op, Query: req.Query, Kind: req.Kind, Error: err.Error()}
+	}
+	return resp
+}
+
+// httpError wraps an error with the HTTP status it should map to.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...interface{}) error {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	// Cancellation is a server-side event (shutdown), not the client's
+	// fault: signal it as retryable.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	// Compute-time failures (e.g. the brute-force guard) are the
+	// request's fault but syntactically valid: 422.
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) execute(req Request) (*Response, error) {
+	start := time.Now()
+	var resp *Response
+	var err error
+	switch req.Op {
+	case OpClassify:
+		resp, err = s.execClassify(req)
+	case OpCount, OpCertain, OpPossible:
+		resp, err = s.execCached(req)
+	case OpEstimate:
+		resp, err = s.execEstimate(req)
+	default:
+		return nil, badRequest("unknown op %q", req.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+func (s *Server) execClassify(req Request) (*Response, error) {
+	q, err := cq.ParseBCQ(req.Query)
+	if err != nil {
+		return nil, badRequest("query: %v", err)
+	}
+	results, err := classify.ClassifyAll(q)
+	if err != nil {
+		return nil, badRequest("classify: %v", err)
+	}
+	out := make([]ClassifyResult, len(results))
+	for i, r := range results {
+		out[i] = ClassifyResult{
+			Variant:    r.Variant.String(),
+			Complexity: r.Complexity.String(),
+			Approx:     r.Approx.String(),
+			Reference:  r.Reference,
+		}
+		if r.HardPattern != nil {
+			out[i].HardPattern = r.HardPattern.String()
+		}
+	}
+	return &Response{Op: OpClassify, Query: q.String(), Classification: out}, nil
+}
+
+// parseInput parses the request's database and query.
+func parseInput(req Request) (*core.Database, cq.Query, error) {
+	if req.Database == "" {
+		return nil, nil, badRequest("database is required")
+	}
+	if req.Query == "" {
+		return nil, nil, badRequest("query is required")
+	}
+	db, err := core.ParseDatabaseString(req.Database)
+	if err != nil {
+		return nil, nil, badRequest("database: %v", err)
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		return nil, nil, badRequest("query: %v", err)
+	}
+	return db, q, nil
+}
+
+// countOptions builds the counting options for one request: the server's
+// budget capped further by the request's, the configured worker pool, and
+// the given context.
+func (s *Server) countOptions(ctx context.Context, req Request, progress func(done, total int)) *count.Options {
+	budget := s.cfg.maxValuations()
+	if req.MaxValuations > 0 && req.MaxValuations < budget {
+		budget = req.MaxValuations
+	}
+	return &count.Options{
+		MaxValuations: budget,
+		Workers:       s.cfg.Workers,
+		Context:       ctx,
+		Progress:      progress,
+	}
+}
+
+// fingerprintKind maps a (op, kind) pair to its cache-key kind.
+func fingerprintKind(req Request) (fingerprint.Kind, string, error) {
+	switch req.Op {
+	case OpCertain:
+		return fingerprint.KindCertain, "", nil
+	case OpPossible:
+		return fingerprint.KindPossible, "", nil
+	case OpCount:
+		switch req.Kind {
+		case "", KindVal:
+			return fingerprint.KindVal, KindVal, nil
+		case KindComp:
+			return fingerprint.KindComp, KindComp, nil
+		default:
+			return "", "", badRequest("unknown kind %q (want %q or %q)", req.Kind, KindVal, KindComp)
+		}
+	}
+	return "", "", badRequest("op %q is not cacheable", req.Op)
+}
+
+// execCached answers count/certain/possible requests through the
+// fingerprint-keyed LRU with single-flight deduplication. Computations
+// run under the server's root context (not the request's): a shared
+// result must not die with whichever of its waiters disconnects first.
+func (s *Server) execCached(req Request) (*Response, error) {
+	db, q, err := parseInput(req)
+	if err != nil {
+		return nil, err
+	}
+	fpKind, kind, err := fingerprintKind(req)
+	if err != nil {
+		return nil, err
+	}
+	fp := fingerprint.Of(db, q, fpKind)
+	if cached, ok := s.cache.get(fp); ok {
+		s.hits.Add(1)
+		resp := cached.clone()
+		resp.Cached = true
+		return resp, nil
+	}
+	s.misses.Add(1)
+	resp, sharedFlight, err := s.flight.do(fp, func() (*Response, error) {
+		s.computations.Add(1)
+		r, err := s.compute(req, db, q, kind)
+		if err != nil {
+			return nil, err
+		}
+		r.Fingerprint = fp
+		s.cache.add(fp, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sharedFlight {
+		s.shared.Add(1)
+	}
+	return resp.clone(), nil
+}
+
+// compute evaluates one count/certain/possible request.
+func (s *Server) compute(req Request, db *core.Database, q cq.Query, kind string) (*Response, error) {
+	opts := s.countOptions(s.root, req, nil)
+	switch req.Op {
+	case OpCount:
+		var n fmt.Stringer
+		var method count.Method
+		var err error
+		if kind == KindComp {
+			n, method, err = count.CountCompletions(db, q, opts)
+		} else {
+			n, method, err = count.CountValuations(db, q, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: string(method)}, nil
+	case OpCertain:
+		holds, err := count.IsCertain(db, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Op: OpCertain, Query: q.String(), Holds: &holds}, nil
+	case OpPossible:
+		holds, err := count.IsPossible(db, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Op: OpPossible, Query: q.String(), Holds: &holds}, nil
+	}
+	return nil, badRequest("unknown op %q", req.Op)
+}
+
+// execEstimate runs the Karp–Luby FPRAS. Estimates are randomized, so
+// they bypass the cache and the single-flight group.
+func (s *Server) execEstimate(req Request) (*Response, error) {
+	db, q, err := parseInput(req)
+	if err != nil {
+		return nil, err
+	}
+	eps, delta := req.Eps, req.Delta
+	if eps == 0 {
+		eps = 0.05
+	}
+	if delta == 0 {
+		delta = 0.05
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := approx.KarpLubyValuationsContext(s.root, db, q, eps, delta, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
+	}
+	return &Response{
+		Op:     OpEstimate,
+		Query:  q.String(),
+		Kind:   KindVal,
+		Count:  res.Estimate.String(),
+		Method: fmt.Sprintf("approx/karp-luby(eps=%g, delta=%g, samples=%d)", eps, delta, res.Samples),
+	}, nil
+}
+
+// StartJob registers and launches an asynchronous counting job for req
+// (which must be an OpCount request) and returns its initial snapshot.
+func (s *Server) StartJob(req Request) (*Job, error) {
+	if req.Op == "" {
+		req.Op = OpCount
+	}
+	if req.Op != OpCount {
+		return nil, badRequest("jobs support op %q only, got %q", OpCount, req.Op)
+	}
+	db, q, err := parseInput(req)
+	if err != nil {
+		return nil, err
+	}
+	fpKind, _, err := fingerprintKind(req)
+	if err != nil {
+		return nil, err
+	}
+	st, ctx := s.jobs.register(s.root, req)
+	// A non-forced job whose result is already cached finishes instantly;
+	// ForceBrute jobs always sweep — they exist to (re)do the work.
+	if !req.ForceBrute {
+		if cached, ok := s.cache.get(fingerprint.Of(db, q, fpKind)); ok {
+			s.hits.Add(1)
+			resp := cached.clone()
+			resp.Cached = true
+			st.finish(JobDone, resp, "")
+			st.cancel()
+			close(st.done)
+			return st.snapshot(), nil
+		}
+		s.misses.Add(1)
+	}
+	go s.runJob(st, ctx, req, db, q)
+	return st.snapshot(), nil
+}
+
+// runJob executes one job on the worker pool: the sharded brute-force
+// sweep when ForceBrute is set, the dispatcher otherwise. Shard
+// completions stream into the job's progress; cancellation (DELETE, or
+// server shutdown) stops the sweep via the context.
+func (s *Server) runJob(st *jobState, ctx context.Context, req Request, db *core.Database, q cq.Query) {
+	defer close(st.done)
+	opts := s.countOptions(ctx, req, st.setProgress)
+	kind := req.Kind
+	if kind == "" {
+		kind = KindVal
+	}
+	var n fmt.Stringer
+	var method count.Method
+	var err error
+	switch {
+	case req.ForceBrute && kind == KindComp:
+		method = count.MethodBruteForce
+		n, err = count.BruteForceCompletions(db, q, opts)
+	case req.ForceBrute:
+		method = count.MethodBruteForce
+		n, err = count.BruteForceValuations(db, q, opts)
+	case kind == KindComp:
+		n, method, err = count.CountCompletions(db, q, opts)
+	default:
+		n, method, err = count.CountValuations(db, q, opts)
+	}
+	switch {
+	case err == nil:
+		resp := &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: string(method)}
+		if fpKind, _, kerr := fingerprintKind(Request{Op: OpCount, Kind: kind}); kerr == nil {
+			fp := fingerprint.Of(db, q, fpKind)
+			resp.Fingerprint = fp
+			s.computations.Add(1)
+			s.cache.add(fp, resp)
+		}
+		st.finish(JobDone, resp.clone(), "")
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		st.finish(JobCancelled, nil, context.Canceled.Error())
+	default:
+		st.finish(JobFailed, nil, err.Error())
+	}
+}
+
+// ---- HTTP plumbing ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleOp serves the single-operation endpoints: the request's Op is
+// forced to the endpoint's operation.
+func (s *Server) handleOp(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		req.Op = op
+		resp, err := s.execute(req)
+		if err != nil {
+			writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if !decodeJSON(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "batch: requests is empty"})
+		return
+	}
+	responses := make([]*Response, len(batch.Requests))
+	// Items run concurrently; identical items collapse in the
+	// single-flight group, so a batch of isomorphic requests costs one
+	// computation. The semaphore keeps a huge batch from spawning an
+	// unbounded number of concurrent sweeps (each sweep already uses the
+	// full worker pool).
+	sem := make(chan struct{}, max(1, runtime.NumCPU()))
+	var wg sync.WaitGroup
+	for i, req := range batch.Requests {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if req.Op == "" {
+				req.Op = OpCount
+			}
+			responses[i] = s.Execute(req)
+		}(i, req)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: responses})
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	job, err := s.StartJob(req)
+	if err != nil {
+		writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, JobList{Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st.snapshot())
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	if !st.requestCancel() {
+		// The job had already reached a terminal status; there is
+		// nothing to cancel and its status will not change.
+		writeJSON(w, http.StatusConflict, st.snapshot())
+		return
+	}
+	writeJSON(w, http.StatusOK, st.snapshot())
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
