@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive one
+// BENCH_<run>.json per run and the performance trajectory of the
+// benchmarks can be tracked across PRs without parsing free-form text.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_123.json
+//
+// The document maps each benchmark name (with the -<GOMAXPROCS> suffix
+// stripped, so keys are stable across machines) to its metrics:
+//
+//	{
+//	  "goos": "linux",
+//	  "benchmarks": {
+//	    "BenchmarkValBruteParallel/workers=4": {
+//	      "iterations": 1, "ns_per_op": 27482930,
+//	      "bytes_per_op": 7792, "allocs_per_op": 149
+//	    }
+//	  }
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed metrics of one benchmark line.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the whole output document.
+type Doc struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// Parse reads `go test -bench` output and collects every benchmark line.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", line, err)
+		}
+		res := Result{Iterations: iters, NsPerOp: ns}
+		res.BytesPerOp = metric(m[4], "B/op")
+		res.AllocsPerOp = metric(m[4], "allocs/op")
+		doc.Benchmarks[m[1]] = res
+	}
+	return doc, sc.Err()
+}
+
+// metric extracts "<value> <unit>" from the tail of a benchmark line.
+func metric(tail, unit string) *float64 {
+	fields := strings.Fields(tail)
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == unit {
+			if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+				return &v
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

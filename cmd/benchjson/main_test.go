@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/incompletedb/incompletedb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkValBruteParallel/workers=4-8         	       2	1015513072 ns/op	633399736 B/op	11694092 allocs/op
+BenchmarkFigure1Counts   	   10000	      1234.5 ns/op
+BenchmarkNoProcsSuffix 	 7 	 42 ns/op 	 8 B/op 	 1 allocs/op
+PASS
+ok  	github.com/incompletedb/incompletedb	21.208s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	par, ok := doc.Benchmarks["BenchmarkValBruteParallel/workers=4"]
+	if !ok {
+		t.Fatalf("-procs suffix not stripped: %v", doc.Benchmarks)
+	}
+	if par.Iterations != 2 || par.NsPerOp != 1015513072 {
+		t.Fatalf("parallel metrics: %+v", par)
+	}
+	if par.BytesPerOp == nil || *par.BytesPerOp != 633399736 || par.AllocsPerOp == nil || *par.AllocsPerOp != 11694092 {
+		t.Fatalf("benchmem metrics: %+v", par)
+	}
+	fig, ok := doc.Benchmarks["BenchmarkFigure1Counts"]
+	if !ok || fig.NsPerOp != 1234.5 || fig.BytesPerOp != nil {
+		t.Fatalf("no-benchmem line: %+v (ok=%v)", fig, ok)
+	}
+	if _, ok := doc.Benchmarks["BenchmarkNoProcsSuffix"]; !ok {
+		t.Fatalf("suffix-free benchmark missing: %v", doc.Benchmarks)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed phantom benchmarks: %v", doc.Benchmarks)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/cylinder"
+	"github.com/incompletedb/incompletedb/internal/sweep"
 )
 
 // MonteCarloResult reports a naïve Monte Carlo estimate.
@@ -30,25 +31,28 @@ type MonteCarloResult struct {
 // (total valuations) over uniformly sampled valuations. It is unbiased but
 // NOT an FPRAS: when the satisfying fraction is exponentially small the
 // relative error explodes — use KarpLubyValuations for guarantees.
+//
+// Sampling runs on the compiled sweep engine: each draw repositions a
+// cursor (same distribution and RNG stream as core.ValuationSpace.Sample)
+// and re-checks the compiled query in place, with no per-sample completion
+// materialization.
 func MonteCarloValuations(db *core.Database, q cq.Query, samples int, r *rand.Rand) (*MonteCarloResult, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
 	}
-	space, err := db.ValuationSpace()
+	eng, err := sweep.Compile(db, q, sweep.ModeSample)
 	if err != nil {
 		return nil, err
 	}
-	total := space.Size()
+	total := eng.TotalSize()
 	if total.Sign() == 0 {
 		return &MonteCarloResult{Estimate: big.NewInt(0), Samples: samples}, nil
 	}
 	sat := 0
-	var v core.Valuation
+	cur := eng.NewCursor()
 	for s := 0; s < samples; s++ {
-		if v, err = space.Sample(r, v); err != nil {
-			return nil, err
-		}
-		if q.Eval(db.Apply(v)) {
+		cur.Sample(r)
+		if cur.Matches() {
 			sat++
 		}
 	}
@@ -138,32 +142,40 @@ func KarpLubyValuationsContext(ctx context.Context, db *core.Database, q cq.Quer
 // paper shows no FPRAS for counting completions exists unless NP = RP
 // (Theorems 5.5 and 5.7); this heuristic under-approximation is the kind of
 // fallback Section 8 suggests, and carries no guarantee of closeness.
+//
+// Deduplication uses the sweep engine's incremental 128-bit completion
+// hash; hash buckets compare exact canonical encodings, so a collision
+// cannot inflate the bound.
 func CompletionsLowerBound(db *core.Database, q cq.Query, samples int, r *rand.Rand) (*big.Int, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
 	}
-	space, err := db.ValuationSpace()
+	eng, err := sweep.Compile(db, q, sweep.ModeCompletions)
 	if err != nil {
 		return nil, err
 	}
-	if space.Size().Sign() == 0 {
+	if eng.Size().Sign() == 0 {
 		return big.NewInt(0), nil
 	}
-	seen := make(map[string]bool)
-	var v core.Valuation
-	for s := 0; s < samples; s++ {
-		if v, err = space.Sample(r, v); err != nil {
-			return nil, err
-		}
-		inst := db.Apply(v)
-		key := inst.CanonicalKey()
-		if _, dup := seen[key]; !dup {
-			seen[key] = q.Eval(inst)
-		}
-	}
+	seen := make(map[sweep.Hash128][]*sweep.Snapshot)
+	cur := eng.NewCursor()
 	count := int64(0)
-	for _, sat := range seen {
-		if sat {
+	for s := 0; s < samples; s++ {
+		cur.Sample(r)
+		h := cur.CompletionHash()
+		bucket := seen[h]
+		dup := false
+		for _, snap := range bucket {
+			if cur.EqualsSnapshot(snap) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(bucket, cur.Snapshot())
+		if cur.Matches() {
 			count++
 		}
 	}

@@ -16,7 +16,8 @@ import (
 // The zero value is not usable; use NewDatabase or NewUniformDatabase.
 type Database struct {
 	facts   []Fact
-	keys    map[string]int // fact key -> index into facts
+	keys    map[string]int    // fact key -> index into facts
+	byRel   map[string][]Fact // per-relation view of facts, insertion order
 	arity   map[string]int
 	nullSet map[NullID]bool
 
@@ -33,6 +34,7 @@ type Database struct {
 func NewDatabase() *Database {
 	return &Database{
 		keys:    make(map[string]int),
+		byRel:   make(map[string][]Fact),
 		arity:   make(map[string]int),
 		nullSet: make(map[NullID]bool),
 		doms:    make(map[NullID][]string),
@@ -44,6 +46,7 @@ func NewDatabase() *Database {
 func NewUniformDatabase(dom []string) *Database {
 	d := &Database{
 		keys:    make(map[string]int),
+		byRel:   make(map[string][]Fact),
 		arity:   make(map[string]int),
 		nullSet: make(map[NullID]bool),
 		uniform: true,
@@ -95,6 +98,7 @@ func (d *Database) AddFact(rel string, args ...Value) error {
 	d.arity[rel] = len(args)
 	d.keys[k] = len(d.facts)
 	d.facts = append(d.facts, f)
+	d.byRel[rel] = append(d.byRel[rel], f)
 	for _, v := range f.Args {
 		if v.IsNull() && !d.nullSet[v.NullID()] {
 			d.nullSet[v.NullID()] = true
@@ -156,16 +160,10 @@ func (d *Database) HasNull(n NullID) bool { return d.nullSet[n] }
 // slice must not be modified.
 func (d *Database) Facts() []Fact { return d.facts }
 
-// FactsOf returns the facts over relation rel, in insertion order.
-func (d *Database) FactsOf(rel string) []Fact {
-	var out []Fact
-	for _, f := range d.facts {
-		if f.Rel == rel {
-			out = append(out, f)
-		}
-	}
-	return out
-}
+// FactsOf returns the facts over relation rel, in insertion order. The
+// per-relation index is maintained by AddFact, so the call is O(1) instead
+// of a scan over all facts. The returned slice must not be modified.
+func (d *Database) FactsOf(rel string) []Fact { return d.byRel[rel] }
 
 // Relations returns the relation names used in the table, sorted.
 func (d *Database) Relations() []string {

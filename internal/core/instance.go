@@ -12,6 +12,7 @@ type Instance struct {
 	tuples map[string][][]string
 	keys   map[string]bool
 	size   int
+	keyBuf []byte // reusable ground-key scratch for Add
 }
 
 // NewInstance returns an empty complete database.
@@ -22,30 +23,33 @@ func NewInstance() *Instance {
 	}
 }
 
-func groundKey(rel string, args []string) string {
-	var b strings.Builder
-	b.WriteString(rel)
+func appendGroundKey(dst []byte, rel string, args []string) []byte {
+	dst = append(dst, rel...)
 	for _, a := range args {
-		b.WriteByte('\x00')
-		b.WriteString(a)
+		dst = append(dst, '\x00')
+		dst = append(dst, a...)
 	}
-	return b.String()
+	return dst
 }
 
-// Add inserts the ground fact rel(args...); duplicates are ignored.
+// Add inserts the ground fact rel(args...); duplicates are ignored. The
+// duplicate check probes the key map with a reused byte buffer (the
+// compiler elides the string conversion in a map lookup), so a duplicate
+// insert allocates nothing; only genuinely new facts materialize the key.
 func (i *Instance) Add(rel string, args ...string) {
-	k := groundKey(rel, args)
-	if i.keys[k] {
+	i.keyBuf = appendGroundKey(i.keyBuf[:0], rel, args)
+	if i.keys[string(i.keyBuf)] {
 		return
 	}
-	i.keys[k] = true
+	i.keys[string(i.keyBuf)] = true
 	i.tuples[rel] = append(i.tuples[rel], append([]string(nil), args...))
 	i.size++
 }
 
 // Has reports whether the ground fact rel(args...) is present.
 func (i *Instance) Has(rel string, args ...string) bool {
-	return i.keys[groundKey(rel, args)]
+	var buf [128]byte
+	return i.keys[string(appendGroundKey(buf[:0], rel, args))]
 }
 
 // Tuples returns the tuples of relation rel, in insertion order. The result

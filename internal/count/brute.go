@@ -4,9 +4,15 @@
 // for the tractable sides of the dichotomies of Table 1 (Theorems 3.6, 3.7,
 // 3.9 and 4.6), together with an automatic dispatcher.
 //
-// The brute-force counters shard the valuation space across a worker pool
-// (Options.Workers) using core.ValuationSpace; parallel results are
-// bit-identical to a serial sweep.
+// The brute-force counters run on the compiled valuation-sweep engine of
+// internal/sweep: the database is compiled once per sweep into an interned
+// arena, the mixed-radix odometer is driven incrementally, completions are
+// deduplicated by an incremental 128-bit set hash (with exact-encoding
+// collision buckets), and — for #Val with syntactic queries — nulls
+// occurring only in relations the query never mentions are factored out of
+// the enumeration as a multiplicative term. The enumerated space is sharded
+// across a worker pool (Options.Workers); parallel results are bit-identical
+// to a serial sweep.
 //
 // All counts are exact big integers.
 package count
@@ -20,6 +26,7 @@ import (
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/sweep"
 )
 
 // DefaultMaxValuations is the default guard for brute-force enumeration.
@@ -28,7 +35,10 @@ const DefaultMaxValuations = 1 << 22
 // Options configures the counting functions.
 type Options struct {
 	// MaxValuations bounds the number of valuations brute-force
-	// enumeration will visit; 0 means DefaultMaxValuations.
+	// enumeration will visit; 0 means DefaultMaxValuations. The guard
+	// applies to the space the sweep actually enumerates — after
+	// relevant-null pruning, when it kicks in — so a query touching a
+	// small part of a huge database can still be counted exactly.
 	MaxValuations int64
 
 	// Workers is the number of goroutines the brute-force counters shard
@@ -59,9 +69,14 @@ type Options struct {
 	rejectedPaths []string
 }
 
+// defaultMaxValuations is the default guard as a shared big.Int, so the
+// hot helper below does not allocate on every call. It must never be
+// mutated.
+var defaultMaxValuations = big.NewInt(DefaultMaxValuations)
+
 func (o *Options) maxValuations() *big.Int {
 	if o == nil || o.MaxValuations <= 0 {
-		return big.NewInt(DefaultMaxValuations)
+		return defaultMaxValuations
 	}
 	return big.NewInt(o.MaxValuations)
 }
@@ -98,57 +113,55 @@ func (o *Options) withRejected(notes []string) *Options {
 	return c
 }
 
-func guardBrute(db *core.Database, opts *Options) error {
-	total, err := db.NumValuations()
-	if err != nil {
-		return err
-	}
-	return guardSize(total, opts)
-}
-
-// guardedSpace builds the valuation space and applies the brute-force
-// guard to its size, validating the database only once.
-func guardedSpace(db *core.Database, opts *Options) (*core.ValuationSpace, error) {
-	space, err := db.ValuationSpace()
+// compileGuarded compiles the sweep engine for db and q and applies the
+// brute-force guard to the size of the space the engine will actually
+// enumerate (after relevant-null pruning, in ModeValuations).
+func compileGuarded(db *core.Database, q cq.Query, mode sweep.Mode, opts *Options) (*sweep.Engine, error) {
+	eng, err := sweep.Compile(db, q, mode)
 	if err != nil {
 		return nil, err
 	}
-	if err := guardSize(space.Size(), opts); err != nil {
+	if err := guardEngine(eng, opts); err != nil {
 		return nil, err
 	}
-	return space, nil
+	return eng, nil
 }
 
-func guardSize(total *big.Int, opts *Options) error {
-	if total.Cmp(opts.maxValuations()) > 0 {
-		hint := "use an exact algorithm or an estimator"
-		if opts != nil && len(opts.rejectedPaths) > 0 {
-			hint = "no fast path applies — " + strings.Join(opts.rejectedPaths, "; ") +
-				" — raise MaxValuations, shrink the instance, or use an estimator"
-		}
-		return fmt.Errorf("count: %v valuations exceed the brute-force guard %v; %s", total, opts.maxValuations(), hint)
+func guardEngine(eng *sweep.Engine, opts *Options) error {
+	max := opts.maxValuations()
+	size := eng.Size()
+	if size.Cmp(max) <= 0 {
+		return nil
 	}
-	return nil
+	hint := "use an exact algorithm or an estimator"
+	if opts != nil && len(opts.rejectedPaths) > 0 {
+		hint = "no fast path applies — " + strings.Join(opts.rejectedPaths, "; ") +
+			" — raise MaxValuations, shrink the instance, or use an estimator"
+	}
+	if eng.Pruned() > 0 {
+		return fmt.Errorf("count: %v relevant valuations (of %v total; %d nulls outside the query's relations were factored out) exceed the brute-force guard %v; %s",
+			size, eng.TotalSize(), eng.Pruned(), max, hint)
+	}
+	return fmt.Errorf("count: %v valuations exceed the brute-force guard %v; %s", size, max, hint)
 }
 
 // BruteForceValuations counts the valuations ν of db with ν(db) ⊨ q by
-// exhaustive enumeration, sharded across Options.Workers goroutines. It
-// fails if the valuation space exceeds the guard in opts or the context in
-// opts is cancelled.
+// exhaustive enumeration on the compiled sweep engine, sharded across
+// Options.Workers goroutines. Nulls irrelevant to a syntactic query are
+// factored out of the enumeration (their domains multiply the result), so
+// the guard and the running time depend only on the relevant part of the
+// space. It fails if the enumerated space exceeds the guard in opts or the
+// context in opts is cancelled.
 func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
-	space, err := guardedSpace(db, opts)
+	eng, err := compileGuarded(db, q, sweep.ModeValuations, opts)
 	if err != nil {
 		return nil, err
 	}
-	shards := shardCount(space.Size(), opts)
-	counts := make([]*big.Int, shards)
-	for i := range counts {
-		counts[i] = big.NewInt(0)
-	}
-	one := big.NewInt(1)
-	err = sweepSharded(space, opts.context(), shards, opts.progress(), func(shard int, v core.Valuation) bool {
-		if q.Eval(db.Apply(v)) {
-			counts[shard].Add(counts[shard], one)
+	shards := shardCount(eng.Size(), opts)
+	counts := make([]int64, shards)
+	err = sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+		if cur.Matches() {
+			counts[shard]++
 		}
 		return true
 	})
@@ -157,25 +170,29 @@ func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.In
 	}
 	total := big.NewInt(0)
 	for _, c := range counts {
-		total.Add(total, c)
+		total.Add(total, big.NewInt(c))
 	}
+	total.Mul(total, eng.Multiplier())
 	return total, nil
 }
 
 // BruteForceCompletions counts the distinct completions ν(db) of db with
-// ν(db) ⊨ q by exhaustive enumeration with canonical deduplication,
-// sharded across Options.Workers goroutines. Each shard deduplicates its
-// own index range; the shard maps are merged at the end, so every distinct
-// completion is evaluated at most once per shard. It fails if the
-// valuation space exceeds the guard in opts or the context is cancelled.
+// ν(db) ⊨ q by exhaustive enumeration with hashed deduplication, sharded
+// across Options.Workers goroutines. Each shard deduplicates its own index
+// range by the 128-bit completion hash (hash buckets compare exact
+// canonical encodings, so a hash collision cannot corrupt the count); the
+// shard tables are merged in index order at the end, so every distinct
+// completion is evaluated at most once per shard and the result is
+// bit-identical to a serial sweep. It fails if the valuation space exceeds
+// the guard in opts or the context is cancelled.
 func BruteForceCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
 	merged, err := bruteCompletionSweep(db, q, opts, false)
 	if err != nil {
 		return nil, err
 	}
 	count := int64(0)
-	for _, sat := range merged.sat {
-		if sat {
+	for _, e := range merged.order {
+		if e.sat {
 			count++
 		}
 	}
@@ -196,8 +213,8 @@ func EnumerateCompletions(db *core.Database, opts *Options) ([]*core.Instance, e
 		return nil, err
 	}
 	out := make([]*core.Instance, 0, len(merged.order))
-	for _, key := range merged.order {
-		out = append(out, merged.instances[key])
+	for _, e := range merged.order {
+		out = append(out, e.inst)
 	}
 	return out, nil
 }
@@ -205,17 +222,17 @@ func EnumerateCompletions(db *core.Database, opts *Options) ([]*core.Instance, e
 // bruteCompletionSweep runs the guarded, sharded completion-dedup sweep
 // shared by BruteForceCompletions and EnumerateCompletions.
 func bruteCompletionSweep(db *core.Database, q cq.Query, opts *Options, keepInstances bool) (*completionShard, error) {
-	space, err := guardedSpace(db, opts)
+	eng, err := compileGuarded(db, q, sweep.ModeCompletions, opts)
 	if err != nil {
 		return nil, err
 	}
-	shards := shardCount(space.Size(), opts)
+	shards := shardCount(eng.Size(), opts)
 	perShard := make([]*completionShard, shards)
 	for i := range perShard {
 		perShard[i] = newCompletionShard(keepInstances)
 	}
-	err = sweepSharded(space, opts.context(), shards, opts.progress(), func(shard int, v core.Valuation) bool {
-		perShard[shard].visit(db.Apply(v), q)
+	err = sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+		perShard[shard].visit(cur)
 		return true
 	})
 	if err != nil {

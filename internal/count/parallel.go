@@ -3,17 +3,19 @@ package count
 import (
 	"context"
 	"math/big"
+	"slices"
 	"sync"
 
 	"github.com/incompletedb/incompletedb/internal/core"
-	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/sweep"
 )
 
 // The sharded valuation-sweep driver behind the brute-force counters: the
-// valuation space is split into one contiguous, index-ordered shard per
-// worker, and each worker sweeps its shard with shard-local state. Because
-// shards partition [0, Size) in index order, per-shard results can always
-// be merged back into exactly the answer a serial sweep would produce.
+// engine's enumerated space is split into one contiguous, index-ordered
+// shard per worker, and each worker sweeps its shard with its own cursor
+// and shard-local state. Because shards partition [0, Size) in index
+// order, per-shard results can always be merged back into exactly the
+// answer a serial sweep would produce.
 
 // serialCutoff is the space size below which sharding is not worth the
 // goroutine and merge overhead and the sweep runs on the calling
@@ -63,27 +65,28 @@ func shardBounds(size *big.Int, shards int) []*big.Int {
 	return bounds
 }
 
-// sweepSharded enumerates the whole valuation space across the given
-// number of shards, calling visit(shard, v) for every valuation. visit
-// runs concurrently across shards and must only touch state owned by its
-// shard; the Valuation it receives is reused between calls within one
-// shard. A false return from visit stops that shard only. sweepSharded
-// returns the context's error if the sweep was cancelled, in which case
-// the per-shard state is incomplete and must be discarded.
+// sweepSharded enumerates the engine's whole enumerated space across the
+// given number of shards, calling visit(shard, cur) for every valuation
+// with the shard's cursor positioned on it. visit runs concurrently across
+// shards and must only touch state owned by its shard; the cursor is
+// repositioned between calls within one shard. A false return from visit
+// stops that shard only. sweepSharded returns the context's error if the
+// sweep was cancelled, in which case the per-shard state is incomplete and
+// must be discarded.
 //
 // progress, when non-nil, is notified as described by Options.Progress:
 // once with (0, shards) before enumeration starts, then with the new
 // completed-shard count each time a shard finishes without the sweep
 // having been cancelled. A progressTracker serializes the calls.
-func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, progress func(done, total int), visit func(shard int, v core.Valuation) bool) error {
-	size := space.Size()
+func sweepSharded(eng *sweep.Engine, ctx context.Context, shards int, progress func(done, total int), visit func(shard int, cur *sweep.Cursor) bool) error {
+	size := eng.Size()
 	tracker := newProgressTracker(progress, shards)
 	if size.Sign() == 0 {
 		tracker.finishAll(ctx)
 		return ctx.Err()
 	}
 	if shards == 1 {
-		if err := sweepShard(space, ctx, big.NewInt(0), size, 0, visit); err != nil {
+		if err := sweepShard(eng, ctx, big.NewInt(0), size, 0, visit); err != nil {
 			return err
 		}
 		tracker.shardDone(ctx)
@@ -96,7 +99,7 @@ func sweepSharded(space *core.ValuationSpace, ctx context.Context, shards int, p
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = sweepShard(space, ctx, bounds[w], bounds[w+1], w, visit)
+			errs[w] = sweepShard(eng, ctx, bounds[w], bounds[w+1], w, visit)
 			if errs[w] == nil {
 				tracker.shardDone(ctx)
 			}
@@ -154,52 +157,105 @@ func (t *progressTracker) finishAll(ctx context.Context) {
 	t.fn(t.done, t.total)
 }
 
-// sweepShard sweeps one contiguous index interval, polling ctx every
-// cancelCheckInterval valuations. A Range error (an invalid interval)
-// must propagate: swallowing it would turn a partial sweep into a silent
-// undercount.
-func sweepShard(space *core.ValuationSpace, ctx context.Context, lo, hi *big.Int, shard int, visit func(int, core.Valuation) bool) error {
+// sweepShard sweeps one contiguous index interval with a fresh cursor,
+// polling ctx every cancelCheckInterval valuations. A Seek error (an
+// invalid interval) must propagate: swallowing it would turn a partial
+// sweep into a silent undercount.
+func sweepShard(eng *sweep.Engine, ctx context.Context, lo, hi *big.Int, shard int, visit func(int, *sweep.Cursor) bool) error {
+	n := new(big.Int).Sub(hi, lo)
+	if n.Sign() == 0 {
+		return nil
+	}
+	cur := eng.NewCursor()
+	if err := cur.Seek(lo); err != nil {
+		return err
+	}
 	sinceCheck := 0
-	return space.Range(lo, hi, func(v core.Valuation) bool {
+	if n.IsInt64() {
+		for remaining := n.Int64(); ; {
+			if sinceCheck++; sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if ctx.Err() != nil {
+					return nil
+				}
+			}
+			if !visit(shard, cur) {
+				return nil
+			}
+			if remaining--; remaining == 0 {
+				return nil
+			}
+			cur.Step()
+		}
+	}
+	// Astronomically large shards cannot terminate in practice, but stay
+	// correct: count down with a big counter.
+	one := big.NewInt(1)
+	for remaining := n; ; {
 		if sinceCheck++; sinceCheck >= cancelCheckInterval {
 			sinceCheck = 0
 			if ctx.Err() != nil {
-				return false
+				return nil
 			}
 		}
-		return visit(shard, v)
-	})
+		if !visit(shard, cur) {
+			return nil
+		}
+		if remaining.Sub(remaining, one); remaining.Sign() == 0 {
+			return nil
+		}
+		cur.Step()
+	}
+}
+
+// compEntry is one distinct completion seen by a shard: its 128-bit set
+// hash, its exact snapshot (what dedup compares on every hash hit, so a
+// hash collision cannot corrupt the count), its query verdict, and — when
+// retained — the materialized instance.
+type compEntry struct {
+	hash sweep.Hash128
+	snap *sweep.Snapshot
+	sat  bool
+	inst *core.Instance // nil unless instances are retained
 }
 
 // completionShard is the shard-local state of a sweep that deduplicates
-// completions: the canonical keys in first-seen order, each key's query
-// verdict, and (optionally) the instance itself.
+// completions: the distinct completions in first-seen order and a bucket
+// map from completion hash to the entries bearing it. Buckets almost
+// always hold one entry; a genuine 128-bit collision adds a second, found
+// by the exact snapshot comparison.
 type completionShard struct {
-	order     []string
-	sat       map[string]bool
-	instances map[string]*core.Instance // nil unless instances are retained
+	order   []*compEntry
+	buckets map[sweep.Hash128][]*compEntry
+	keep    bool
 }
 
 func newCompletionShard(keepInstances bool) *completionShard {
-	s := &completionShard{sat: make(map[string]bool)}
-	if keepInstances {
-		s.instances = make(map[string]*core.Instance)
+	return &completionShard{
+		buckets: make(map[sweep.Hash128][]*compEntry),
+		keep:    keepInstances,
 	}
-	return s
 }
 
-// visit records one completion, evaluating q only the first time the
-// completion's key is seen within this shard.
-func (s *completionShard) visit(inst *core.Instance, q cq.Query) {
-	key := inst.CanonicalKey()
-	if _, dup := s.sat[key]; dup {
-		return
+// visit records the cursor's current completion, snapshotting it and
+// evaluating the query only the first time the completion is seen within
+// this shard; repeat visits cost one bucket probe and one exact
+// comparison against the cursor's incremental per-fact hashes.
+func (s *completionShard) visit(cur *sweep.Cursor) {
+	h := cur.CompletionHash()
+	bucket := s.buckets[h]
+	for _, e := range bucket {
+		if cur.EqualsSnapshot(e.snap) {
+			return
+		}
 	}
-	s.order = append(s.order, key)
-	s.sat[key] = q.Eval(inst)
-	if s.instances != nil {
-		s.instances[key] = inst
+	e := &compEntry{hash: h, snap: cur.Snapshot()}
+	if s.keep {
+		e.inst = cur.Instance()
 	}
+	e.sat = cur.MatchesUsing(e.inst)
+	s.buckets[h] = append(bucket, e)
+	s.order = append(s.order, e)
 }
 
 // mergeCompletionShards folds the shards together in shard order (= index
@@ -210,17 +266,22 @@ func mergeCompletionShards(shards []*completionShard) *completionShard {
 	if len(shards) == 1 {
 		return shards[0]
 	}
-	merged := newCompletionShard(shards[0].instances != nil)
+	merged := newCompletionShard(shards[0].keep)
 	for _, s := range shards {
-		for _, key := range s.order {
-			if _, dup := merged.sat[key]; dup {
+		for _, e := range s.order {
+			bucket := merged.buckets[e.hash]
+			dup := false
+			for _, m := range bucket {
+				if slices.Equal(m.snap.Canonical, e.snap.Canonical) {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			merged.order = append(merged.order, key)
-			merged.sat[key] = s.sat[key]
-			if merged.instances != nil {
-				merged.instances[key] = s.instances[key]
-			}
+			merged.buckets[e.hash] = append(bucket, e)
+			merged.order = append(merged.order, e)
 		}
 	}
 	return merged

@@ -7,6 +7,7 @@ import (
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/sweep"
 )
 
 // This file implements the certainty-refinement semantics the counting
@@ -15,48 +16,60 @@ import (
 // discussed in Section 7 of the paper.
 
 // IsCertain reports whether q holds in EVERY completion of db (the problem
-// Certainty(q) for Boolean queries). It enumerates valuations with early
-// exit and is guarded like the brute-force counters; for the tractable
-// Table 1 cells, comparing CountValuations against the total is the
-// polynomial route.
+// Certainty(q) for Boolean queries). It enumerates valuations on the
+// compiled sweep engine with early exit (and relevant-null pruning, since
+// the verdict is constant across the factored-out nulls) and is guarded
+// like the brute-force counters; for the tractable Table 1 cells,
+// comparing CountValuations against the total is the polynomial route.
 func IsCertain(db *core.Database, q cq.Query, opts *Options) (bool, error) {
-	if err := guardBrute(db, opts); err != nil {
-		return false, err
-	}
-	certain := true
-	err := db.ForEachValuation(func(v core.Valuation) bool {
-		if !q.Eval(db.Apply(v)) {
-			certain = false
-			return false
-		}
-		return true
-	})
+	sat, visited, err := sweepUntil(db, q, opts, false)
 	if err != nil {
 		return false, err
 	}
 	// A database with zero valuations (an empty domain) has no completion;
 	// by the usual convention every query is then (vacuously) certain.
-	return certain, nil
+	if !visited {
+		return true, nil
+	}
+	return sat, nil
 }
 
 // IsPossible reports whether q holds in SOME completion of db, with early
 // exit.
 func IsPossible(db *core.Database, q cq.Query, opts *Options) (bool, error) {
-	if err := guardBrute(db, opts); err != nil {
-		return false, err
-	}
-	possible := false
-	err := db.ForEachValuation(func(v core.Valuation) bool {
-		if q.Eval(db.Apply(v)) {
-			possible = true
-			return false
-		}
-		return true
-	})
+	sat, visited, err := sweepUntil(db, q, opts, true)
 	if err != nil {
 		return false, err
 	}
-	return possible, nil
+	if !visited {
+		return false, nil
+	}
+	return sat, nil
+}
+
+// sweepUntil sweeps the enumerated space serially until a valuation with
+// Matches() == want is found. It returns whether the last inspected
+// verdict equals want (sat), and whether the full space holds any
+// valuation at all (visited).
+func sweepUntil(db *core.Database, q cq.Query, opts *Options, want bool) (sat, visited bool, err error) {
+	eng, err := compileGuarded(db, q, sweep.ModeValuations, opts)
+	if err != nil {
+		return false, false, err
+	}
+	// An empty full space means db has no completion at all — also when
+	// the emptiness comes from a pruned null's empty domain.
+	if eng.TotalSize().Sign() == 0 {
+		return false, false, nil
+	}
+	sat = !want
+	err = sweepSharded(eng, opts.context(), 1, opts.progress(), func(_ int, cur *sweep.Cursor) bool {
+		sat = cur.Matches()
+		return sat != want
+	})
+	if err != nil {
+		return false, false, err
+	}
+	return sat, true, nil
 }
 
 // MuK computes Libkin's relative frequency µ_k(q, T) (Section 7 of the

@@ -8,8 +8,13 @@
 // Barceló and Monet, PODS 2020): FP-side requests are cheap and answered
 // inline; #P-hard instances either go through the Karp–Luby FPRAS
 // (/v1/estimate) or through the async job API (/v1/jobs), which runs the
-// sharded valuation-space sweep of internal/count on a worker pool with
-// context cancellation and per-shard progress reporting.
+// sharded sweep of internal/count — each shard driving a cursor of the
+// compiled valuation-sweep engine (internal/sweep) — on a worker pool
+// with context cancellation and per-shard progress reporting. Guard
+// errors surfaced to clients reflect the engine's relevant-null pruning:
+// the guarded quantity is the space the sweep would actually enumerate,
+// which for #Val with syntactic queries excludes nulls the query cannot
+// observe.
 //
 // Results of count/certain/possible requests are cached in an LRU keyed
 // by the canonical fingerprint of (database, query, kind) — see

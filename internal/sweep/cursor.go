@@ -1,0 +1,295 @@
+package sweep
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+)
+
+// Cursor is a mutable position in an engine's enumerated valuation space:
+// the current argument arena, the mixed-radix odometer digits, the cached
+// query verdict, and (in ModeCompletions) the incremental completion hash.
+// A cursor is single-goroutine state; shards each own one.
+type Cursor struct {
+	eng  *Engine
+	args []uint32 // live argument arena
+	idx  []int    // current digit indices
+
+	verdict      bool
+	verdictValid bool
+
+	// Compiled-query evaluation scratch, preallocated per disjunct.
+	asg   [][]uint32
+	bound [][]bool
+	trail []int32
+	tp    int
+
+	// Completion hashing state (ModeCompletions only).
+	factHash []Hash128
+	mult     *hashMultiset
+	sum      Hash128
+
+	// Scratch buffers.
+	strArgs []string
+	sortIdx []int32
+}
+
+// NewCursor returns a cursor positioned nowhere; call Seek (or Sample)
+// before inspecting it.
+func (e *Engine) NewCursor() *Cursor {
+	c := &Cursor{
+		eng:  e,
+		args: append([]uint32(nil), e.tmplArgs...),
+		idx:  make([]int, len(e.digits)),
+	}
+	maxVars := 0
+	for _, d := range e.prog.disjuncts {
+		c.asg = append(c.asg, make([]uint32, d.nvars))
+		c.bound = append(c.bound, make([]bool, d.nvars))
+		if d.nvars > maxVars {
+			maxVars = d.nvars
+		}
+	}
+	c.trail = make([]int32, maxVars)
+	if e.mode == ModeCompletions {
+		c.factHash = make([]Hash128, len(e.factRel))
+		c.mult = newHashMultiset(len(e.factRel))
+	}
+	return c
+}
+
+// Seek positions the cursor at index i of the enumerated space,
+// 0 ≤ i < Size(), in the index order of core.ValuationSpace restricted to
+// the enumerated digits. Cost is O(total slots); Step is incremental.
+func (c *Cursor) Seek(i *big.Int) error {
+	e := c.eng
+	if i.Sign() < 0 || i.Cmp(e.size) >= 0 {
+		return fmt.Errorf("sweep: index %v out of range [0, %v)", i, e.size)
+	}
+	rem := new(big.Int).Set(i)
+	radix, dig := new(big.Int), new(big.Int)
+	for k := len(e.digits) - 1; k >= 0; k-- {
+		radix.SetInt64(int64(len(e.digits[k].dom)))
+		rem.QuoRem(rem, radix, dig)
+		c.idx[k] = int(dig.Int64())
+	}
+	c.rebuild()
+	return nil
+}
+
+// Sample repositions the cursor on a uniformly random valuation of the
+// full space, drawing one r.Intn per null in sorted-ID order — the same
+// distribution and RNG stream as core.ValuationSpace.Sample. It must only
+// be used on engines without pruned nulls (ModeSample or ModeCompletions);
+// it panics otherwise, since the pruned digits could not be drawn.
+func (c *Cursor) Sample(r *rand.Rand) {
+	if c.eng.pruned > 0 {
+		panic("sweep: Sample on an engine with pruned nulls")
+	}
+	for k := range c.eng.digits {
+		c.idx[k] = r.Intn(len(c.eng.digits[k].dom))
+	}
+	c.rebuild()
+}
+
+// rebuild re-derives the arena, hashes and verdict from the digit indices.
+func (c *Cursor) rebuild() {
+	e := c.eng
+	copy(c.args, e.tmplArgs)
+	for k := range e.digits {
+		d := &e.digits[k]
+		v := d.dom[c.idx[k]]
+		for _, s := range d.slots {
+			c.args[e.factOff[s.fact]+s.pos] = v
+		}
+	}
+	if e.mode == ModeCompletions {
+		c.mult.reset()
+		c.sum = Hash128{}
+		for fi := range e.factRel {
+			h := factHash(e.factRel[fi], e.factArgs(c.args, int32(fi)))
+			c.factHash[fi] = h
+			c.addFactHash(h)
+		}
+	}
+	c.verdictValid = false
+}
+
+// Step advances the cursor to the next index, patching only the slots of
+// the digits that changed. It returns false when the space is exhausted
+// (the cursor then stays on the last valuation).
+func (c *Cursor) Step() bool {
+	e := c.eng
+	k := len(c.idx) - 1
+	for k >= 0 && c.idx[k]+1 >= len(e.digits[k].dom) {
+		k--
+	}
+	if k < 0 {
+		return false
+	}
+	c.idx[k]++
+	c.applyDigit(k)
+	for j := k + 1; j < len(c.idx); j++ {
+		if c.idx[j] != 0 {
+			c.idx[j] = 0
+			c.applyDigit(j)
+		}
+	}
+	return true
+}
+
+// applyDigit repatches digit d's slots to its current domain value and
+// maintains the incremental state: the per-fact hashes and completion sum
+// in ModeCompletions, and the verdict cache, which survives the step when
+// the digit only touches relations the query never reads.
+func (c *Cursor) applyDigit(d int) {
+	e := c.eng
+	dg := &e.digits[d]
+	v := dg.dom[c.idx[d]]
+	if e.mode == ModeCompletions {
+		for _, s := range dg.slots {
+			c.removeFactHash(c.factHash[s.fact])
+			c.args[e.factOff[s.fact]+s.pos] = v
+			h := factHash(e.factRel[s.fact], e.factArgs(c.args, s.fact))
+			c.factHash[s.fact] = h
+			c.addFactHash(h)
+		}
+	} else {
+		for _, s := range dg.slots {
+			c.args[e.factOff[s.fact]+s.pos] = v
+		}
+	}
+	if dg.dirty {
+		c.verdictValid = false
+	}
+}
+
+// addFactHash/removeFactHash maintain the multiset of per-fact hashes and
+// the completion sum over its distinct elements, realizing set semantics:
+// duplicate facts collapse, contributing once.
+func (c *Cursor) addFactHash(h Hash128) {
+	if c.mult.incr(h) {
+		c.sum = add128(c.sum, h)
+	}
+}
+
+func (c *Cursor) removeFactHash(h Hash128) {
+	if c.mult.decr(h) {
+		c.sum = sub128(c.sum, h)
+	}
+}
+
+// Matches reports whether the current completion satisfies the query,
+// re-evaluating only when a relevant relation changed since the last call.
+func (c *Cursor) Matches() bool {
+	if !c.verdictValid {
+		c.verdict = c.evalProgram()
+		c.verdictValid = true
+	}
+	return c.verdict
+}
+
+// MatchesUsing is Matches, but reuses inst (when non-nil) for opaque
+// queries instead of materializing the completion a second time.
+func (c *Cursor) MatchesUsing(inst *core.Instance) bool {
+	if inst != nil && c.eng.prog.opaque != nil {
+		return c.eng.prog.opaque.Eval(inst)
+	}
+	return c.Matches()
+}
+
+// CompletionHash returns the order-independent 128-bit hash of the current
+// completion's fact set. Only meaningful in ModeCompletions.
+func (c *Cursor) CompletionHash() Hash128 { return c.sum }
+
+// AppendCanonical appends the exact canonical encoding of the current
+// completion to dst and returns it: the distinct facts as (rel, args...)
+// interned-ID sequences, sorted. Two cursors of the same engine are on the
+// same completion iff their canonical encodings are equal — this is what
+// hash-collision buckets compare. The persistent sort order makes the
+// insertion sort adaptive: consecutive completions differ in few facts.
+func (c *Cursor) AppendCanonical(dst []uint32) []uint32 {
+	e := c.eng
+	if c.sortIdx == nil {
+		c.sortIdx = make([]int32, len(e.factRel))
+		for i := range c.sortIdx {
+			c.sortIdx[i] = int32(i)
+		}
+	}
+	ids := c.sortIdx
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && c.factLess(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for i, fi := range ids {
+		if i > 0 && c.factEqual(ids[i-1], fi) {
+			continue
+		}
+		dst = append(dst, e.factRel[fi])
+		dst = append(dst, e.factArgs(c.args, fi)...)
+	}
+	return dst
+}
+
+func (c *Cursor) factLess(a, b int32) bool {
+	e := c.eng
+	ra, rb := e.factRel[a], e.factRel[b]
+	if ra != rb {
+		return ra < rb
+	}
+	aa, ab := e.factArgs(c.args, a), e.factArgs(c.args, b)
+	for i := range aa {
+		if aa[i] != ab[i] {
+			return aa[i] < ab[i]
+		}
+	}
+	return false
+}
+
+func (c *Cursor) factEqual(a, b int32) bool {
+	e := c.eng
+	if e.factRel[a] != e.factRel[b] {
+		return false
+	}
+	aa, ab := e.factArgs(c.args, a), e.factArgs(c.args, b)
+	for i := range aa {
+		if aa[i] != ab[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Instance materializes the current completion as a core.Instance
+// (resolving interned IDs back to strings). Used for opaque queries and
+// when enumerated completions must be returned.
+func (c *Cursor) Instance() *core.Instance {
+	e := c.eng
+	inst := core.NewInstance()
+	for fi := range e.factRel {
+		args := e.factArgs(c.args, int32(fi))
+		if cap(c.strArgs) < len(args) {
+			c.strArgs = make([]string, len(args))
+		}
+		s := c.strArgs[:len(args)]
+		for i, a := range args {
+			s[i] = e.values.Resolve(a)
+		}
+		inst.Add(e.rels.Resolve(e.factRel[fi]), s...)
+	}
+	return inst
+}
+
+// Valuation materializes the cursor's current digit assignment as a
+// core.Valuation over the enumerated nulls (pruned nulls are absent).
+func (c *Cursor) Valuation() core.Valuation {
+	v := make(core.Valuation, len(c.eng.digits))
+	for k := range c.eng.digits {
+		d := &c.eng.digits[k]
+		v[d.null] = c.eng.values.Resolve(d.dom[c.idx[k]])
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package sweep
+
+import "math/bits"
+
+// Hash128 is a 128-bit hash value, comparable and usable as a map key.
+type Hash128 struct{ Lo, Hi uint64 }
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer with good
+// avalanche behaviour.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Lane seeds: arbitrary odd constants keeping the two 64-bit lanes of a
+// fact hash decorrelated.
+const (
+	factSeedLo = 0x9e3779b97f4a7c15
+	factSeedHi = 0xc2b2ae3d27d4eb4f
+)
+
+// factHash hashes one ground fact (rel, args...) over interned IDs. It is
+// order-sensitive in the argument positions (R(a,b) and R(b,a) hash
+// differently) and is the unit the order-independent completion hash sums
+// over.
+func factHash(rel uint32, args []uint32) Hash128 {
+	lo := mix64(factSeedLo ^ uint64(rel))
+	hi := mix64(factSeedHi + uint64(rel))
+	for _, a := range args {
+		lo = mix64(lo ^ (uint64(a) + 0x165667b19e3779f9))
+		hi = mix64(hi + (uint64(a) ^ 0x27d4eb2f165667c5))
+	}
+	return Hash128{Lo: lo, Hi: hi}
+}
+
+// add128 returns a+b mod 2^128; sub128 returns a-b mod 2^128. Summation
+// modulo 2^128 is commutative and invertible, which is exactly what the
+// incremental set hash needs: facts can enter and leave the current
+// completion in any order and the sum only depends on the resulting set.
+func add128(a, b Hash128) Hash128 {
+	lo, carry := bits.Add64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Add64(a.Hi, b.Hi, carry)
+	return Hash128{Lo: lo, Hi: hi}
+}
+
+func sub128(a, b Hash128) Hash128 {
+	lo, borrow := bits.Sub64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Sub64(a.Hi, b.Hi, borrow)
+	return Hash128{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzInterner feeds \x00-separated token lists through an Interner and
+// checks the round-trip invariants: Resolve(Intern(s)) == s, re-interning
+// is stable, IDs are dense in first-sight order, and Lookup agrees with
+// Intern.
+func FuzzInterner(f *testing.F) {
+	f.Add([]byte("a\x00b\x00a"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\x00"))
+	f.Add([]byte("?1\x00?1\x00?2\x00constant with spaces\x00\x01esc"))
+	f.Add([]byte("π\x00heavy ∧ unicode\x00π"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tokens := bytes.Split(data, []byte{0})
+		in := NewInterner()
+		first := make(map[string]uint32)
+		next := uint32(0)
+		for _, tok := range tokens {
+			s := string(tok)
+			id := in.Intern(s)
+			if want, seen := first[s]; seen {
+				if id != want {
+					t.Fatalf("re-intern %q: id %d, first %d", s, id, want)
+				}
+			} else {
+				if id != next {
+					t.Fatalf("intern %q: id %d, want dense %d", s, id, next)
+				}
+				first[s] = id
+				next++
+			}
+			if got := in.Resolve(id); got != s {
+				t.Fatalf("Resolve(Intern(%q)) = %q", s, got)
+			}
+			lid, ok := in.Lookup(s)
+			if !ok || lid != id {
+				t.Fatalf("Lookup(%q) = %d, %v; want %d", s, lid, ok, id)
+			}
+		}
+		if in.Len() != len(first) {
+			t.Fatalf("Len = %d, want %d", in.Len(), len(first))
+		}
+	})
+}

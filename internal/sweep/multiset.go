@@ -1,0 +1,98 @@
+package sweep
+
+// hashMultiset is a linear-probing multiset of Hash128 keys, replacing a
+// map[Hash128]int32 on the per-slot hot path of completion sweeps: the
+// keys are already uniform hashes, so probing needs no re-hashing, and
+// increments/decrements stay branch-cheap. Slots are never deleted
+// (a 1→0 decrement keeps the claimed slot so probe chains stay intact);
+// stale zero-count slots are dropped on growth.
+type hashMultiset struct {
+	mask    uint32
+	keys    []Hash128
+	counts  []int32
+	used    []bool
+	claimed int // used slots, including zero-count ones
+}
+
+func newHashMultiset(capacity int) *hashMultiset {
+	size := 16
+	for size < 4*capacity {
+		size *= 2
+	}
+	return &hashMultiset{
+		mask:   uint32(size - 1),
+		keys:   make([]Hash128, size),
+		counts: make([]int32, size),
+		used:   make([]bool, size),
+	}
+}
+
+// reset empties the multiset, keeping the allocation.
+func (t *hashMultiset) reset() {
+	for i := range t.used {
+		t.used[i] = false
+		t.counts[i] = 0
+	}
+	t.claimed = 0
+}
+
+// slot returns the index of h's slot, claiming a fresh one if absent.
+func (t *hashMultiset) slot(h Hash128) uint32 {
+	i := uint32(h.Lo) & t.mask
+	for t.used[i] {
+		if t.keys[i] == h {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.keys[i] = h
+	t.claimed++
+	return i
+}
+
+// incr adds one occurrence of h and reports whether h just became present
+// (count 0 → 1).
+func (t *hashMultiset) incr(h Hash128) bool {
+	i := t.slot(h)
+	t.counts[i]++
+	if t.counts[i] == 1 {
+		if t.claimed*2 > len(t.keys) {
+			t.grow()
+		}
+		return true
+	}
+	return false
+}
+
+// decr removes one occurrence of h and reports whether h just became
+// absent (count 1 → 0). h must be present.
+func (t *hashMultiset) decr(h Hash128) bool {
+	i := t.slot(h)
+	t.counts[i]--
+	return t.counts[i] == 0
+}
+
+// grow doubles the table, dropping stale zero-count slots.
+func (t *hashMultiset) grow() {
+	oldKeys, oldCounts, oldUsed := t.keys, t.counts, t.used
+	size := 2 * len(oldKeys)
+	t.mask = uint32(size - 1)
+	t.keys = make([]Hash128, size)
+	t.counts = make([]int32, size)
+	t.used = make([]bool, size)
+	t.claimed = 0
+	for i, u := range oldUsed {
+		if !u || oldCounts[i] == 0 {
+			continue
+		}
+		j := uint32(oldKeys[i].Lo) & t.mask
+		for t.used[j] {
+			j = (j + 1) & t.mask
+		}
+		t.used[j] = true
+		t.keys[j] = oldKeys[i]
+		t.counts[j] = oldCounts[i]
+		t.claimed++
+	}
+}

@@ -1,0 +1,104 @@
+package sweep
+
+// Snapshot captures one distinct completion for exact dedup: its canonical
+// encoding (for cross-shard merges and collision buckets) plus a small
+// open-addressed index of its distinct facts keyed by fact hash, so a
+// cursor can test set equality against it by probing the per-fact hashes
+// it already maintains incrementally — no sorting or encoding on the
+// duplicate-heavy hot path.
+type Snapshot struct {
+	// Canonical is the exact canonical encoding: the distinct facts as
+	// (rel, args...) interned-ID sequences, sorted. Two completions of
+	// the same engine are equal iff their Canonical encodings are equal.
+	Canonical []uint32
+
+	facts []snapFact
+	table []int32 // linear-probe index into facts; -1 = empty
+	mask  uint32
+	gen   uint32
+}
+
+type snapFact struct {
+	h     Hash128
+	off   int32 // offset of (rel, args...) in Canonical
+	n     int32 // sequence length, 1 + arity
+	stamp uint32
+}
+
+// Snapshot captures the cursor's current completion.
+func (c *Cursor) Snapshot() *Snapshot {
+	e := c.eng
+	s := &Snapshot{Canonical: c.AppendCanonical(nil)}
+	for off := 0; off < len(s.Canonical); {
+		rel := s.Canonical[off]
+		n := int(e.relArity[rel]) + 1
+		h := factHash(rel, s.Canonical[off+1:off+n])
+		s.facts = append(s.facts, snapFact{h: h, off: int32(off), n: int32(n)})
+		off += n
+	}
+	size := 8
+	for size < 4*len(s.facts) {
+		size *= 2
+	}
+	s.mask = uint32(size - 1)
+	s.table = make([]int32, size)
+	for i := range s.table {
+		s.table[i] = -1
+	}
+	for j := range s.facts {
+		i := uint32(s.facts[j].h.Lo) & s.mask
+		for s.table[i] >= 0 {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = int32(j)
+	}
+	return s
+}
+
+// EqualsSnapshot reports whether the cursor's current completion is
+// exactly the snapshot's, comparing fact contents (not just hashes): every
+// arena fact must occur in the snapshot and every snapshot fact must be
+// matched, so even a 128-bit fact-hash collision cannot produce a false
+// equality. Cost is O(facts) probes with no allocation.
+func (c *Cursor) EqualsSnapshot(s *Snapshot) bool {
+	e := c.eng
+	s.gen++
+	if s.gen == 0 { // stamp wrap-around: invalidate all stamps
+		for i := range s.facts {
+			s.facts[i].stamp = 0
+		}
+		s.gen = 1
+	}
+	matched := 0
+	for fi := range e.factRel {
+		h := c.factHash[fi]
+		args := e.factArgs(c.args, int32(fi))
+		found := false
+		for i := uint32(h.Lo) & s.mask; s.table[i] >= 0; i = (i + 1) & s.mask {
+			f := &s.facts[s.table[i]]
+			if f.h != h || int(f.n) != len(args)+1 || s.Canonical[f.off] != e.factRel[fi] {
+				continue
+			}
+			seq := s.Canonical[f.off+1 : f.off+f.n]
+			eq := true
+			for k := range args {
+				if seq[k] != args[k] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				if f.stamp != s.gen {
+					f.stamp = s.gen
+					matched++
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return matched == len(s.facts)
+}
