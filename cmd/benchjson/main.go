@@ -17,15 +17,24 @@
 //	    }
 //	  }
 //	}
+//
+// With -baseline FILE, benchjson instead compares the benchmarks on
+// stdin against a previously archived JSON document and prints a delta
+// report (ns/op and allocs/op changes, plus benchmarks that appeared or
+// disappeared). The report is informational: single-iteration CI timings
+// are noisy, so the exit status stays zero — the allocation deltas are
+// the stable signal.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -99,11 +108,80 @@ func metric(tail, unit string) *float64 {
 	return nil
 }
 
+// Compare renders the delta report of current against baseline: one line
+// per benchmark present in both (ns/op and allocs/op deltas), then the
+// benchmarks only one side has.
+func Compare(baseline, current *Doc) string {
+	var b strings.Builder
+	names := make([]string, 0, len(current.Benchmarks))
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, cur := baseline.Benchmarks[name], current.Benchmarks[name]
+		line := fmt.Sprintf("%-55s ns/op %14.0f → %14.0f  (%+.1f%%)",
+			name, base.NsPerOp, cur.NsPerOp, pctDelta(base.NsPerOp, cur.NsPerOp))
+		if base.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			line += fmt.Sprintf("   allocs/op %9.0f → %9.0f  (%+.1f%%)",
+				*base.AllocsPerOp, *cur.AllocsPerOp, pctDelta(*base.AllocsPerOp, *cur.AllocsPerOp))
+		}
+		b.WriteString(line + "\n")
+	}
+	for _, name := range onlyIn(current, baseline) {
+		b.WriteString(fmt.Sprintf("%-55s NEW (no baseline entry)\n", name))
+	}
+	for _, name := range onlyIn(baseline, current) {
+		b.WriteString(fmt.Sprintf("%-55s MISSING (present in the baseline, not in this run)\n", name))
+	}
+	if b.Len() == 0 {
+		return "no benchmarks in common with the baseline\n"
+	}
+	return b.String()
+}
+
+func pctDelta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// onlyIn lists the benchmark names a has and b lacks, sorted.
+func onlyIn(a, b *Doc) []string {
+	var out []string
+	for name := range a.Benchmarks {
+		if _, ok := b.Benchmarks[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func main() {
+	baselinePath := flag.String("baseline", "", "archived benchjson document to compare stdin against (prints a delta report instead of JSON)")
+	flag.Parse()
 	doc, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var baseline Doc
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark deltas vs %s:\n%s", *baselinePath, Compare(&baseline, doc))
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

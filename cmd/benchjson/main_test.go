@@ -46,6 +46,47 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	baseline, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const current = `goos: linux
+BenchmarkValBruteParallel/workers=4-8         	       2	507756536 ns/op	633399736 B/op	5847046 allocs/op
+BenchmarkFigure1Counts   	   10000	      1234.5 ns/op
+BenchmarkValFactorized 	       12	  95286134 ns/op	  176378 B/op	    1884 allocs/op
+`
+	cur, err := Parse(strings.NewReader(current))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := Compare(baseline, cur)
+	for _, frag := range []string{
+		"BenchmarkValBruteParallel/workers=4",
+		"(-50.0%)",               // ns/op halved
+		"allocs/op",              // benchmem deltas included
+		"BenchmarkFigure1Counts", // unchanged entry still listed
+		"(+0.0%)",
+		"BenchmarkValFactorized", // new benchmark flagged
+		"NEW",
+		"BenchmarkNoProcsSuffix", // dropped benchmark flagged
+		"MISSING",
+	} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("compare report missing %q:\n%s", frag, report)
+		}
+	}
+}
+
+func TestCompareDisjoint(t *testing.T) {
+	a := &Doc{Benchmarks: map[string]Result{"BenchmarkA": {NsPerOp: 1}}}
+	b := &Doc{Benchmarks: map[string]Result{"BenchmarkB": {NsPerOp: 1}}}
+	report := Compare(a, b)
+	if !strings.Contains(report, "NEW") || !strings.Contains(report, "MISSING") {
+		t.Errorf("disjoint report:\n%s", report)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	doc, err := Parse(strings.NewReader("no benchmarks here\n"))
 	if err != nil {

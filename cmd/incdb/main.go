@@ -61,6 +61,8 @@ func main() {
 		fmt.Print(incdb.Table1())
 	case "count":
 		err = cmdCount(ctx, os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "estimate":
 		err = cmdEstimate(ctx, os.Args[2:])
 	case "serve":
@@ -87,6 +89,8 @@ commands:
   classify -q QUERY              classify an sjfBCQ under all eight variants (Table 1)
   table1                         print the dichotomy table of the paper
   count -db FILE -q QUERY        count valuations/completions (-kind val|comp|all-comp, -workers N)
+  explain -db FILE -q QUERY      compile and render the query plan without executing it
+                                 (-kind val|comp, -max N, -max-cylinders N)
   estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed)
   serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers, -jobs)
   experiments [-quick] [-seed N] run the paper-reproduction experiment suite
@@ -224,6 +228,55 @@ func cmdCount(ctx context.Context, args []string) error {
 	return nil
 }
 
+// cmdExplain compiles and renders the plan of a counting problem without
+// executing it. Text mode prints Plan.Render — byte-identical to what
+// POST /v1/explain and the root Explain API render for the same input —
+// and -json prints the serve API's explain response.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	qstr := fs.String("q", "", "Boolean query")
+	kind := fs.String("kind", "val", "what the plan counts: val | comp")
+	maxVals := fs.Int64("max", count.DefaultMaxValuations, "brute-force guard the plan is costed against")
+	maxCyl := fs.Int("max-cylinders", 0, "cylinder inclusion–exclusion cap (0 = default 18, negative disables)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the serve API's explain response)")
+	fs.Parse(args)
+	if *dbPath == "" || *qstr == "" {
+		return fmt.Errorf("explain: -db and -q are required")
+	}
+	if *kind != "val" && *kind != "comp" {
+		return fmt.Errorf("explain: unknown -kind %q (want val or comp)", *kind)
+	}
+	if *jsonOut {
+		raw, err := os.ReadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		req := server.Request{Op: server.OpExplain, Database: string(raw), Query: *qstr, Kind: *kind, MaxValuations: *maxVals, MaxCylinders: *maxCyl}
+		// The embedded server's caps mirror the flags, so the request is
+		// never clamped below what text mode plans with.
+		return execJSON(context.Background(), server.Config{MaxValuations: *maxVals, MaxCylinders: *maxCyl}, req)
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	q, err := incdb.ParseQuery(*qstr)
+	if err != nil {
+		return err
+	}
+	ckind := incdb.Valuations
+	if *kind == "comp" {
+		ckind = incdb.Completions
+	}
+	p, err := incdb.Explain(db, q, ckind, &incdb.CountOptions{MaxValuations: *maxVals, MaxCylinders: *maxCyl})
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Render())
+	return nil
+}
+
 func cmdEstimate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database file")
@@ -256,12 +309,14 @@ func cmdServe(ctx context.Context, args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8333", "listen address")
 	cacheSize := fs.Int("cache", server.DefaultCacheSize, "result-cache capacity in entries (negative disables caching)")
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "per-request valuation budget for brute-force sweeps")
+	maxCyl := fs.Int("max-cylinders", 0, "per-request cap on cylinder inclusion–exclusion (0 = default 18, negative disables)")
 	workers := fs.Int("workers", 0, "worker pool per sweep (0 = one per CPU)")
 	jobs := fs.Int("jobs", server.DefaultMaxJobs, "maximum retained (terminal) jobs")
 	fs.Parse(args)
 	srv := server.New(server.Config{
 		CacheSize:     *cacheSize,
 		MaxValuations: *maxVals,
+		MaxCylinders:  *maxCyl,
 		Workers:       *workers,
 		MaxJobs:       *jobs,
 	})

@@ -120,6 +120,127 @@ func TestCmdCountWorkers(t *testing.T) {
 	}
 }
 
+func TestCmdExplain(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, func() error {
+		return cmdExplain([]string{"-db", db, "-q", "S(x, x)"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The test database is a (uniform) Codd table: Theorem 3.6 is
+	// rejected for the repeated variable, Theorem 3.7 fires, and both
+	// decisions are rendered along with the Table 1 verdict.
+	for _, frag := range []string{
+		"plan #Val(S(x, x))",
+		"exact/theorem-3.7",
+		"table 1:",
+		"Theorem 3.6 (single-occurrence) [Theorem 3.6]: rejected",
+		"accepted",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explain output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// A self-join falls outside the sjfBCQ theorems and lands on cylinder
+	// inclusion–exclusion.
+	out, err = capture(t, func() error {
+		return cmdExplain([]string{"-db", db, "-q", "S(x, y) ∧ S(y, z)"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"exact/cylinder-inclusion-exclusion",
+		"need a valid self-join-free BCQ",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("self-join explain output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// -kind comp plans the completion problem.
+	out, err = capture(t, func() error {
+		return cmdExplain([]string{"-db", db, "-q", "S(x, x)", "-kind", "comp"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "plan #Comp(S(x, x))") || !strings.Contains(out, "Theorem 4.6") {
+		t.Errorf("comp explain output:\n%s", out)
+	}
+
+	// Planning never executes: a guard-sized instance still explains, and
+	// the sweep cost is flagged.
+	out, err = capture(t, func() error {
+		return cmdExplain([]string{"-db", db, "-q", "S(x, y) ∧ S(y, z)", "-max", "1", "-max-cylinders", "-1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "EXCEEDS the guard") {
+		t.Errorf("guard excess not rendered:\n%s", out)
+	}
+
+	if err := cmdExplain([]string{"-db", db}); err == nil {
+		t.Error("missing -q accepted")
+	}
+	if err := cmdExplain([]string{"-db", db, "-q", "S(x, x)", "-kind", "bogus"}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+// TestCmdExplainJSON: -json emits the serve API's explain response, plan
+// included, with the rendered text identical to the text mode's output.
+func TestCmdExplainJSON(t *testing.T) {
+	db := writeTestDB(t)
+	text, err := capture(t, func() error {
+		return cmdExplain([]string{"-db", db, "-q", "S(x, x)"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return cmdExplain([]string{"-db", db, "-q", "S(x, x)", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if resp.Op != server.OpExplain || resp.Plan == nil || resp.Fingerprint == "" {
+		t.Fatalf("explain -json: %+v", resp)
+	}
+	if resp.Plan.Text != text {
+		t.Errorf("JSON plan text differs from text mode:\n--- json ---\n%s--- text ---\n%s", resp.Plan.Text, text)
+	}
+	if resp.Method != resp.Plan.Method || resp.Method == "" {
+		t.Errorf("method mismatch: %q vs %q", resp.Method, resp.Plan.Method)
+	}
+
+	// A raised -max-cylinders reaches the planner identically in both
+	// modes: the JSON path's embedded server must not clamp it back to
+	// the default.
+	args := []string{"-db", db, "-q", "S(x, y) ∧ S(y, z)", "-max-cylinders", "25"}
+	text, err = capture(t, func() error { return cmdExplain(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error { return cmdExplain(append(args, "-json")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if resp.Plan.Text != text {
+		t.Errorf("raised cap renders differently in JSON mode:\n--- json ---\n%s--- text ---\n%s", resp.Plan.Text, text)
+	}
+}
+
 func TestCmdEstimate(t *testing.T) {
 	db := writeTestDB(t)
 	out, err := capture(t, func() error {

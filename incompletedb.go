@@ -55,6 +55,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/fingerprint"
+	"github.com/incompletedb/incompletedb/internal/plan"
 	"github.com/incompletedb/incompletedb/internal/server"
 )
 
@@ -127,13 +128,32 @@ const (
 )
 
 // CountOptions configures counting: the brute-force guard
-// (MaxValuations), the size of the worker pool brute-force sweeps shard
-// the valuation space across (Workers; 0 means one worker per CPU), and
-// an optional cancellation Context.
+// (MaxValuations), the cylinder inclusion–exclusion cap (MaxCylinders),
+// the size of the worker pool brute-force sweeps shard the valuation
+// space across (Workers; 0 means one worker per CPU), and an optional
+// cancellation Context.
 type CountOptions = count.Options
 
-// Method identifies the algorithm used to produce a count.
+// Method identifies the algorithm used to produce a count. For rewrite
+// plans it is the plan's operator signature, e.g.
+// "complement(exact/theorem-3.9)".
 type Method = count.Method
+
+// Query-planning types (package internal/plan): the explainable, costed
+// plan DAG the counting dispatchers compile before executing, with
+// per-node decision records of every algorithm tried and the paper
+// precondition that failed.
+type (
+	// Plan is a compiled counting problem; render it with Plan.Render,
+	// serialize it with Plan.JSON.
+	Plan = plan.Plan
+	// PlanNode is one operator of a plan DAG.
+	PlanNode = plan.Node
+	// PlanDecision is one structured entry of a node's decision record.
+	PlanDecision = plan.Decision
+	// PlanOp identifies the algorithm (or rewrite) a plan node applies.
+	PlanOp = plan.Op
+)
 
 // Model constructors, re-exported from the core model.
 var (
@@ -193,6 +213,25 @@ func CountValuations(db *Database, q Query, opts *CountOptions) (*big.Int, Metho
 // brute force with canonical deduplication otherwise.
 func CountCompletions(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
 	return count.CountCompletions(db, q, opts)
+}
+
+// Explain compiles (db, q, kind) into the costed, explainable plan the
+// counting functions execute — which algorithm answers each sub-problem,
+// everything tried before it with the precondition that failed, the
+// Table 1 classification where it applies, and per-node cost estimates —
+// without executing anything. The rendered plan is identical to what
+// `incdb explain` and POST /v1/explain produce for the same input.
+func Explain(db *Database, q Query, kind CountingKind, opts *CountOptions) (*Plan, error) {
+	return count.Explain(db, q, kind, opts)
+}
+
+// ExecutePlan computes the count a plan compiled by Explain describes.
+// CountValuations/CountCompletions are equivalent to Explain followed by
+// ExecutePlan. db must be the same database the plan was compiled from
+// (the plan's payloads embed its facts); a different database is
+// rejected.
+func ExecutePlan(db *Database, p *Plan, opts *CountOptions) (*big.Int, error) {
+	return count.ExecutePlan(db, p, opts)
 }
 
 // CountAllCompletions counts the distinct completions of db.

@@ -140,6 +140,50 @@ func TestFacadeCertaintySemantics(t *testing.T) {
 	}
 }
 
+// TestFacadeExplain: the root EXPLAIN API — a plan compiles without
+// executing, ExecutePlan reproduces the dispatcher's count, and the
+// rendered text is deterministic.
+func TestFacadeExplain(t *testing.T) {
+	db := figure1DB()
+	q := MustParseQuery("S(x, x)")
+	p, err := Explain(db, q, Valuations, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root == nil || p.Method() == "" {
+		t.Fatalf("empty plan: %+v", p)
+	}
+	if !strings.Contains(p.Render(), "plan #Val(S(x, x))") {
+		t.Errorf("rendered plan:\n%s", p.Render())
+	}
+	if p.Render() != p.JSON().Text {
+		t.Error("JSON text differs from Render")
+	}
+	n, err := ExecutePlan(db, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, method, err := CountValuations(db, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(direct) != 0 {
+		t.Fatalf("ExecutePlan %v, CountValuations %v", n, direct)
+	}
+	if string(method) != p.Method() {
+		t.Errorf("method mismatch: %q vs %q", method, p.Method())
+	}
+	// Completions plan, too.
+	pc, err := Explain(db, q, Completions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := ExecutePlan(db, pc, nil)
+	if err != nil || nc.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("comp plan executed to %v, err %v", nc, err)
+	}
+}
+
 func TestFacadeInequalityQuery(t *testing.T) {
 	db := NewUniformDatabase([]string{"a", "b"})
 	db.MustAddFact("R", Null(1), Null(2))

@@ -26,11 +26,16 @@ import (
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/plan"
 	"github.com/incompletedb/incompletedb/internal/sweep"
 )
 
 // DefaultMaxValuations is the default guard for brute-force enumeration.
-const DefaultMaxValuations = 1 << 22
+const DefaultMaxValuations = plan.DefaultMaxValuations
+
+// DefaultMaxCylinders is the default cap on the cylinder
+// inclusion–exclusion route of the dispatcher.
+const DefaultMaxCylinders = plan.DefaultMaxCylinders
 
 // Options configures the counting functions.
 type Options struct {
@@ -40,6 +45,12 @@ type Options struct {
 	// relevant-null pruning, when it kicks in — so a query touching a
 	// small part of a huge database can still be counted exactly.
 	MaxValuations int64
+
+	// MaxCylinders caps the cylinder inclusion–exclusion route the
+	// dispatcher may plan (the 2^m subset enumeration): above this many
+	// cylinders the route is rejected in favor of the sweep. 0 means
+	// DefaultMaxCylinders; negative disables the route entirely.
+	MaxCylinders int
 
 	// Workers is the number of goroutines the brute-force counters shard
 	// the valuation space across; 0 means runtime.NumCPU(), 1 forces a
@@ -63,10 +74,19 @@ type Options struct {
 	// shards partition it into near-equal contiguous slices.
 	Progress func(done, total int)
 
-	// rejectedPaths records, when set by the dispatcher, why each fast
-	// path did not apply, so the brute-force guard can explain what was
-	// already tried instead of suggesting it.
+	// rejectedPaths records, when set by the plan executor, why each fast
+	// path did not apply (the plan node's rejected decision records), so
+	// the brute-force guard can explain what was already tried instead of
+	// suggesting it.
 	rejectedPaths []string
+}
+
+// planOptions projects the counting options onto the planner's.
+func (o *Options) planOptions() *plan.Options {
+	if o == nil {
+		return nil
+	}
+	return &plan.Options{MaxValuations: o.MaxValuations, MaxCylinders: o.MaxCylinders}
 }
 
 // defaultMaxValuations is the default guard as a shared big.Int, so the
@@ -157,9 +177,16 @@ func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.In
 	if err != nil {
 		return nil, err
 	}
+	return sweepValuationsOnEngine(eng, opts)
+}
+
+// sweepValuationsOnEngine runs the sharded valuation count on an already
+// compiled (and guarded) engine — the entry point of the plan executor,
+// whose sweep nodes carry the engine the planner compiled.
+func sweepValuationsOnEngine(eng *sweep.Engine, opts *Options) (*big.Int, error) {
 	shards := shardCount(eng.Size(), opts)
 	counts := make([]int64, shards)
-	err = sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+	err := sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
 		if cur.Matches() {
 			counts[shard]++
 		}
@@ -186,7 +213,18 @@ func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.In
 // bit-identical to a serial sweep. It fails if the valuation space exceeds
 // the guard in opts or the context is cancelled.
 func BruteForceCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, error) {
-	merged, err := bruteCompletionSweep(db, q, opts, false)
+	eng, err := compileGuarded(db, q, sweep.ModeCompletions, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sweepCompletionsOnEngine(eng, opts)
+}
+
+// sweepCompletionsOnEngine runs the sharded completion-dedup count on an
+// already compiled (and guarded) engine, counting the satisfying
+// distinct completions.
+func sweepCompletionsOnEngine(eng *sweep.Engine, opts *Options) (*big.Int, error) {
+	merged, err := completionSweepOnEngine(eng, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -226,12 +264,17 @@ func bruteCompletionSweep(db *core.Database, q cq.Query, opts *Options, keepInst
 	if err != nil {
 		return nil, err
 	}
+	return completionSweepOnEngine(eng, opts, keepInstances)
+}
+
+// completionSweepOnEngine is bruteCompletionSweep after compilation.
+func completionSweepOnEngine(eng *sweep.Engine, opts *Options, keepInstances bool) (*completionShard, error) {
 	shards := shardCount(eng.Size(), opts)
 	perShard := make([]*completionShard, shards)
 	for i := range perShard {
 		perShard[i] = newCompletionShard(keepInstances)
 	}
-	err = sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+	err := sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
 		perShard[shard].visit(cur)
 		return true
 	})

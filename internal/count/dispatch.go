@@ -1,130 +1,63 @@
 package count
 
 import (
-	"fmt"
 	"math/big"
 
+	"github.com/incompletedb/incompletedb/internal/classify"
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
-	"github.com/incompletedb/incompletedb/internal/cylinder"
+	"github.com/incompletedb/incompletedb/internal/plan"
 )
 
-// Method identifies which algorithm produced a count.
+// Method identifies which algorithm produced a count. For rewrite plans
+// the method is the plan's compact operator signature, e.g.
+// "complement(exact/theorem-3.9)" or "factor(brute-force × brute-force)".
 type Method string
 
-// The available counting methods.
+// The leaf counting methods (the operator names of the plan layer).
 const (
-	MethodSingleOccurrence Method = "exact/theorem-3.6"
-	MethodCodd             Method = "exact/theorem-3.7"
-	MethodUniformVal       Method = "exact/theorem-3.9"
-	MethodUniformComp      Method = "exact/theorem-4.6"
-	MethodCylinderIE       Method = "exact/cylinder-inclusion-exclusion"
-	MethodBruteForce       Method = "brute-force"
+	MethodSingleOccurrence Method = Method(plan.OpSingleOccurrence)
+	MethodCodd             Method = Method(plan.OpCodd)
+	MethodUniformVal       Method = Method(plan.OpUniformVal)
+	MethodUniformComp      Method = Method(plan.OpUniformComp)
+	MethodCylinderIE       Method = Method(plan.OpCylinderIE)
+	MethodBruteForce       Method = Method(plan.OpSweep)
 )
 
-// maxCylindersForIE bounds the inclusion–exclusion fallback: 2^m subset
-// enumerations.
-const maxCylindersForIE = 18
+// Explain compiles (db, q, kind) into the costed, explainable plan the
+// counting dispatchers execute: which algorithm answers each sub-problem,
+// every algorithm tried before it with the precondition that failed, the
+// Table 1 classification where it applies, and the estimated cost.
+func Explain(db *core.Database, q cq.Query, kind classify.CountingKind, opts *Options) (*plan.Plan, error) {
+	return plan.Build(db, q, kind, opts.planOptions())
+}
 
-// CountValuations computes #Val(q)(db), choosing the fastest applicable
-// algorithm: one of the paper's polynomial-time algorithms when the query
-// avoids the corresponding hard patterns (Theorems 3.6, 3.7 and 3.9);
-// inclusion–exclusion over match cylinders when the query is a (union of)
-// BCQ(s) with few cylinders — exact even when the valuation space is
-// astronomically large; and guarded brute-force enumeration otherwise.
+// CountValuations computes #Val(q)(db) by compiling a plan and executing
+// it: one of the paper's polynomial-time algorithms when the query avoids
+// the corresponding hard patterns (Theorems 3.6, 3.7 and 3.9);
+// independent-subquery factorization when the query splits into parts
+// over disjoint variables and nulls; inclusion–exclusion over match
+// cylinders when the query is a (union of) BCQ(s) with few cylinders —
+// exact even when the valuation space is astronomically large; and
+// guarded brute-force enumeration otherwise.
 func CountValuations(db *core.Database, q cq.Query, opts *Options) (*big.Int, Method, error) {
-	// Negations count by complement: #Val(¬q) = total − #Val(q), so ¬q is
-	// exactly as easy as q (valuations partition, unlike completions).
-	if neg, ok := q.(*cq.Negation); ok {
-		inner, m, err := CountValuations(db, neg.Inner, opts)
-		if err != nil {
-			return nil, m, err
-		}
-		total, err := db.NumValuations()
-		if err != nil {
-			return nil, m, err
-		}
-		return total.Sub(total, inner), Method("complement of " + string(m)), nil
+	p, err := Explain(db, q, classify.Valuations, opts)
+	if err != nil {
+		return nil, "", err
 	}
-	var rejected []string
-	if b, ok := q.(*cq.BCQ); ok && b.SelfJoinFree() && b.Validate() == nil {
-		if cq.AllVariablesOccurOnce(b) {
-			n, err := ValuationsSingleOccurrence(db, b)
-			return n, MethodSingleOccurrence, err
-		}
-		rejected = append(rejected, "Theorem 3.6 needs every variable to occur exactly once")
-		if db.IsCodd() && !cq.HasSharedVarAtoms(b) {
-			n, err := ValuationsCodd(db, b)
-			return n, MethodCodd, err
-		}
-		if !db.IsCodd() {
-			rejected = append(rejected, "Theorem 3.7 needs a Codd table")
-		} else {
-			rejected = append(rejected, "Theorem 3.7 rejects the query: two atoms share a variable")
-		}
-		if db.Uniform() && !cq.HasRepeatedVarAtom(b) && !cq.HasPathPattern(b) && !cq.HasDoublySharedPair(b) {
-			n, err := ValuationsUniform(db, b)
-			return n, MethodUniformVal, err
-		}
-		if !db.Uniform() {
-			rejected = append(rejected, "Theorem 3.9 needs a uniform database")
-		} else {
-			rejected = append(rejected, "Theorem 3.9 rejects the query: it contains a hard pattern (repeated-variable atom, path, or doubly-shared pair)")
-		}
-	} else {
-		rejected = append(rejected, "the polynomial algorithms of Theorems 3.6/3.7/3.9 need a valid self-join-free BCQ")
-	}
-	switch q.(type) {
-	case *cq.BCQ, *cq.UCQ:
-		set, err := cylinder.Build(db, q)
-		switch {
-		case err != nil:
-			rejected = append(rejected, "cylinder inclusion–exclusion failed: "+err.Error())
-		case len(set.Cylinders) > maxCylindersForIE:
-			rejected = append(rejected, fmt.Sprintf("cylinder inclusion–exclusion is capped at %d cylinders, the query needs %d", maxCylindersForIE, len(set.Cylinders)))
-		default:
-			n, err := set.UnionCount()
-			if err == nil {
-				return n, MethodCylinderIE, nil
-			}
-			rejected = append(rejected, "cylinder inclusion–exclusion failed: "+err.Error())
-		}
-	default:
-		rejected = append(rejected, "cylinder inclusion–exclusion needs a BCQ or a union of BCQs")
-	}
-	n, err := BruteForceValuations(db, q, opts.withRejected(rejected))
-	return n, MethodBruteForce, err
+	n, err := ExecutePlan(db, p, opts)
+	return n, Method(p.Method()), err
 }
 
-// CountCompletions computes #Comp(q)(db), using the polynomial algorithm of
-// Theorem 4.6 when the database is uniform over a unary schema and the
-// query avoids R(x,x) and R(x,y), and guarded brute-force enumeration with
-// completion deduplication otherwise.
+// CountCompletions computes #Comp(q)(db) the same way: the polynomial
+// algorithm of Theorem 4.6 when the database is uniform over a unary
+// schema, and guarded brute-force enumeration with completion
+// deduplication otherwise.
 func CountCompletions(db *core.Database, q cq.Query, opts *Options) (*big.Int, Method, error) {
-	var rejected []string
-	if b, ok := q.(*cq.BCQ); ok && b.SelfJoinFree() && b.Validate() == nil {
-		if db.Uniform() && cq.AllAtomsUnary(b) && allRelationsUnary(db) {
-			n, err := CompletionsUniform(db, b)
-			return n, MethodUniformComp, err
-		}
-		switch {
-		case !db.Uniform():
-			rejected = append(rejected, "Theorem 4.6 needs a uniform database")
-		case !cq.AllAtomsUnary(b) || !allRelationsUnary(db):
-			rejected = append(rejected, "Theorem 4.6 needs a unary schema (no binary atoms or relations)")
-		}
-	} else {
-		rejected = append(rejected, "the polynomial algorithm of Theorem 4.6 needs a valid self-join-free BCQ")
+	p, err := Explain(db, q, classify.Completions, opts)
+	if err != nil {
+		return nil, "", err
 	}
-	n, err := BruteForceCompletions(db, q, opts.withRejected(rejected))
-	return n, MethodBruteForce, err
-}
-
-func allRelationsUnary(db *core.Database) bool {
-	for _, r := range db.Relations() {
-		if db.Arity(r) != 1 {
-			return false
-		}
-	}
-	return true
+	n, err := ExecutePlan(db, p, opts)
+	return n, Method(p.Method()), err
 }

@@ -16,6 +16,7 @@
 package cylinder
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -353,18 +354,39 @@ func (s *Set) CountContaining(v core.Valuation) int {
 	return cnt
 }
 
+// MaxUnionCylinders is the absolute limit of the inclusion–exclusion
+// counter: 2^30 subset terms is already hours of work, but with
+// cancellation a caller raising the dispatcher's (configurable) cap can
+// choose to wait — beyond this the loop could not terminate in practice.
+// The planner clamps its configurable cap to this value.
+const MaxUnionCylinders = 30
+
+// cancelCheckMasks is the number of subset terms evaluated between polls
+// of the cancellation context.
+const cancelCheckMasks = 1024
+
 // UnionCount computes |∪_j C_j| — the exact number of satisfying
 // valuations — by inclusion–exclusion over the cylinders. It is exponential
 // in the number of cylinders and guarded accordingly; it exists to
 // cross-validate the brute-force and Karp–Luby counters (the SpanL
 // "distinct witnesses" semantics of Proposition 5.2 made executable).
 func (s *Set) UnionCount() (*big.Int, error) {
+	return s.UnionCountContext(context.Background())
+}
+
+// UnionCountContext is UnionCount with cancellation: the 2^m subset loop
+// polls ctx every cancelCheckMasks terms and returns its error shortly
+// after it is done, like the sweep shards of internal/count do.
+func (s *Set) UnionCountContext(ctx context.Context) (*big.Int, error) {
 	m := len(s.Cylinders)
-	if m > 20 {
-		return nil, fmt.Errorf("cylinder: inclusion–exclusion over %d cylinders is too large", m)
+	if m > MaxUnionCylinders {
+		return nil, fmt.Errorf("cylinder: inclusion–exclusion over %d cylinders is too large (limit %d)", m, MaxUnionCylinders)
 	}
 	total := big.NewInt(0)
 	for mask := 1; mask < 1<<uint(m); mask++ {
+		if mask%cancelCheckMasks == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		w := s.intersectionWeight(mask)
 		if popcount(mask)%2 == 1 {
 			total.Add(total, w)
@@ -372,7 +394,7 @@ func (s *Set) UnionCount() (*big.Int, error) {
 			total.Sub(total, w)
 		}
 	}
-	return total, nil
+	return total, ctx.Err()
 }
 
 func popcount(x int) int {

@@ -1,10 +1,12 @@
 package cylinder_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/count"
@@ -239,7 +241,7 @@ func TestSampleIndexProportional(t *testing.T) {
 
 func TestUnionCountGuard(t *testing.T) {
 	db := core.NewUniformDatabase([]string{"a"})
-	for i := 1; i <= 25; i++ {
+	for i := 1; i <= 31; i++ {
 		db.MustAddFact("R", core.Const(fmt.Sprintf("k%d", i)))
 	}
 	set, err := cylinder.Build(db, cq.MustParseBCQ("R(x)"))
@@ -248,6 +250,28 @@ func TestUnionCountGuard(t *testing.T) {
 	}
 	if _, err := set.UnionCount(); err == nil {
 		t.Fatal("inclusion–exclusion guard not enforced")
+	}
+}
+
+func TestUnionCountCancellation(t *testing.T) {
+	// 22 cylinders → 4M subset terms: far too slow to finish instantly,
+	// but the subset loop must notice a cancelled context right away.
+	db := core.NewUniformDatabase([]string{"a"})
+	for i := 1; i <= 22; i++ {
+		db.MustAddFact("R", core.Const(fmt.Sprintf("k%d", i)))
+	}
+	set, err := cylinder.Build(db, cq.MustParseBCQ("R(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := set.UnionCountContext(ctx); err != context.Canceled {
+		t.Fatalf("cancelled UnionCount err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; the subset loop is not polling the context", elapsed)
 	}
 }
 

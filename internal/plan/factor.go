@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// Independent-subquery factorization for #Val.
+//
+// A valuation ν is drawn over all nulls of D. A sub-query q_i can only
+// observe ν through the facts of the relations it mentions, so the event
+// "ν(D) ⊨ q_i" depends only on ν restricted to nulls(q_i) — the nulls
+// occurring in facts of sig(q_i). When the parts of a query share no
+// variables and their null sets are pairwise disjoint, the events are
+// independent under the uniform product structure of the valuation space,
+// and counts combine exactly:
+//
+//	conjunction:  #Val(q_1 ∧ … ∧ q_k) · total^(k−1) = ∏ #Val(q_i)
+//	union:        (total − #Val(Q_1 ∨ … ∨ Q_k)) · total^(k−1) = ∏ (total − #Val(Q_g))
+//
+// where total = ∏ |dom(⊥)|. Both right-hand sides are divisible exactly,
+// so the rewrite is lossless over big integers. The payoff is the cost
+// shape: a joint sweep enumerates ∏_i ∏_{⊥∈nulls(q_i)} |dom(⊥)| — the
+// PRODUCT of the component spaces — while the factored plan sweeps each
+// component separately, so the spaces ADD and the largest component
+// bounds the work.
+
+// factorVal tries to split q into independent parts. It returns the
+// sub-queries (each answered by a recursive plan), the combining
+// operator, whether the rewrite applies, and — when it does not — the
+// precondition that failed.
+func (b *builder) factorVal(q cq.Query) (parts []cq.Query, op Op, ok bool, reason string) {
+	switch t := q.(type) {
+	case *cq.BCQ:
+		if t.Validate() != nil {
+			return nil, "", false, "factorization needs a well-formed query"
+		}
+		groups := b.atomComponents(t)
+		if len(groups) < 2 {
+			return nil, "", false, "the query is a single connected component: its atoms share variables or touch overlapping nulls"
+		}
+		for _, g := range groups {
+			atoms := make([]cq.Atom, len(g))
+			for i, ai := range g {
+				atoms[i] = t.Atoms[ai]
+			}
+			parts = append(parts, &cq.BCQ{Atoms: atoms})
+		}
+		return parts, OpFactor, true, fmt.Sprintf(
+			"%d components share no variables and touch pairwise-disjoint nulls: relative counts multiply exactly", len(groups))
+	case *cq.UCQ:
+		for _, d := range t.Disjuncts {
+			if d.Validate() != nil {
+				return nil, "", false, "factorization needs well-formed disjuncts"
+			}
+		}
+		groups := b.disjunctGroups(t)
+		if len(groups) < 2 {
+			return nil, "", false, "the union is a single connected group: its disjuncts touch overlapping nulls"
+		}
+		for _, g := range groups {
+			if len(g) == 1 {
+				parts = append(parts, t.Disjuncts[g[0]])
+				continue
+			}
+			sub := &cq.UCQ{}
+			for _, di := range g {
+				sub.Disjuncts = append(sub.Disjuncts, t.Disjuncts[di])
+			}
+			parts = append(parts, sub)
+		}
+		return parts, OpFactorUnion, true, fmt.Sprintf(
+			"%d disjunct groups touch pairwise-disjoint nulls: relative miss rates multiply exactly", len(groups))
+	default:
+		return nil, "", false, "factorization needs a BCQ or a union of BCQs (inequalities and opaque queries may couple their parts)"
+	}
+}
+
+// relationNulls returns the set of nulls occurring in the facts of rel,
+// memoized per builder so a relation mentioned by k atoms is scanned
+// once per plan, not k times.
+func (b *builder) relationNulls(rel string) map[core.NullID]bool {
+	if cached, ok := b.relNulls[rel]; ok {
+		return cached
+	}
+	out := make(map[core.NullID]bool)
+	for _, f := range b.db.FactsOf(rel) {
+		for _, a := range f.Args {
+			if a.IsNull() {
+				out[a.NullID()] = true
+			}
+		}
+	}
+	if b.relNulls == nil {
+		b.relNulls = make(map[string]map[core.NullID]bool)
+	}
+	b.relNulls[rel] = out
+	return out
+}
+
+// atomComponents partitions the atoms of a BCQ into connected components,
+// where two atoms are connected when they share a variable or when the
+// facts of their relations share a null. Components are returned as
+// sorted atom-index groups ordered by their smallest member, so the
+// decomposition is deterministic.
+func (b *builder) atomComponents(q *cq.BCQ) [][]int {
+	uf := newUnionFind(len(q.Atoms))
+	varOwner := make(map[string]int)
+	nullOwner := make(map[core.NullID]int)
+	for i, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if j, seen := varOwner[v]; seen {
+				uf.union(i, j)
+			} else {
+				varOwner[v] = i
+			}
+		}
+		for nl := range b.relationNulls(a.Rel) {
+			if j, seen := nullOwner[nl]; seen {
+				uf.union(i, j)
+			} else {
+				nullOwner[nl] = i
+			}
+		}
+	}
+	return uf.groups()
+}
+
+// disjunctGroups partitions the disjuncts of a UCQ into groups connected
+// by shared nulls. Variables are scoped per disjunct, so only the null
+// sets matter.
+func (b *builder) disjunctGroups(u *cq.UCQ) [][]int {
+	uf := newUnionFind(len(u.Disjuncts))
+	nullOwner := make(map[core.NullID]int)
+	for i, d := range u.Disjuncts {
+		for _, rel := range d.Relations() {
+			for nl := range b.relationNulls(rel) {
+				if j, seen := nullOwner[nl]; seen {
+					uf.union(i, j)
+				} else {
+					nullOwner[nl] = i
+				}
+			}
+		}
+	}
+	return uf.groups()
+}
+
+// unionFind is a small union-find over [0, n) with deterministic group
+// output.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// groups returns the members of each component sorted, with groups
+// ordered by their smallest member.
+func (u *unionFind) groups() [][]int {
+	byRoot := make(map[int][]int)
+	for i := range u.parent {
+		r := u.find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for _, g := range byRoot {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -4,6 +4,8 @@ package server
 // -json mode of the incdb command-line tool, so scripted pipelines see one
 // schema whether they shell out or speak HTTP.
 
+import "github.com/incompletedb/incompletedb/internal/plan"
+
 // Operation names accepted in Request.Op (and implied by the dedicated
 // endpoints).
 const (
@@ -12,6 +14,7 @@ const (
 	OpClassify = "classify"
 	OpCertain  = "certain"
 	OpPossible = "possible"
+	OpExplain  = "explain"
 )
 
 // Kinds of counts for OpCount.
@@ -37,6 +40,12 @@ type Request struct {
 	// MaxValuations lowers the brute-force guard below the server's
 	// per-request budget; it can never raise it above the server's cap.
 	MaxValuations int64 `json:"max_valuations,omitempty"`
+
+	// MaxCylinders lowers the planner's cap on the cylinder
+	// inclusion–exclusion route below the server's (default 18), or
+	// disables the route with a negative value; like MaxValuations it
+	// can never raise the cap above the server's.
+	MaxCylinders int `json:"max_cylinders,omitempty"`
 
 	// Karp–Luby parameters for OpEstimate.
 	Eps   float64 `json:"eps,omitempty"`
@@ -65,8 +74,16 @@ type Response struct {
 	// Holds is the verdict of certain/possible.
 	Holds *bool `json:"holds,omitempty"`
 
-	// Method names the algorithm that produced the result.
+	// Method names the algorithm that produced the result. For rewrite
+	// plans it is the plan's compact operator signature, e.g.
+	// "complement(exact/theorem-3.9)".
 	Method string `json:"method,omitempty"`
+
+	// Plan is the compiled query plan behind the result: the operator
+	// tree, per-node decision records (each algorithm tried, the paper
+	// theorem, and the precondition that failed), costs, and the rendered
+	// text. Count, estimate and explain responses carry it.
+	Plan *plan.PlanJSON `json:"plan,omitempty"`
 
 	// Classification is the Table 1 outcome of classify.
 	Classification []ClassifyResult `json:"classification,omitempty"`
@@ -76,7 +93,11 @@ type Response struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 
 	// Cached reports that the result was served from the result cache
-	// rather than recomputed.
+	// rather than recomputed. The cache is keyed by the fingerprint of
+	// (database, query, kind) only: the count is exact under any
+	// planning options, but a cached response's Plan and Method describe
+	// the route the FIRST computation took, which may differ from what
+	// this request's MaxCylinders/MaxValuations would have planned.
 	Cached bool `json:"cached,omitempty"`
 
 	// DurationMS is the server-side time spent producing this response

@@ -32,6 +32,8 @@
 //	POST   /v1/certain         certainty (all completions satisfy q)
 //	POST   /v1/possible        possibility (some completion satisfies q)
 //	POST   /v1/estimate        Karp–Luby FPRAS for #Val (uncached)
+//	POST   /v1/explain         compile and render the plan of a count
+//	                           request without executing it
 //	POST   /v1/batch           many requests in one call, run concurrently
 //	POST   /v1/jobs            start an async (brute-force) counting job
 //	GET    /v1/jobs            list jobs
@@ -44,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/big"
 	"math/rand"
 	"net"
 	"net/http"
@@ -58,6 +61,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/fingerprint"
+	"github.com/incompletedb/incompletedb/internal/plan"
 )
 
 // Defaults for Config fields left zero.
@@ -80,6 +84,13 @@ type Config struct {
 	// 0 means count.DefaultMaxValuations.
 	MaxValuations int64
 
+	// MaxCylinders is the per-request cap on the planner's cylinder
+	// inclusion–exclusion route (the 2^m subset loop). Requests may lower
+	// it (or disable the route with a negative value) but never raise it
+	// above this cap. 0 means count.DefaultMaxCylinders; negative
+	// disables the route for every request.
+	MaxCylinders int
+
 	// Workers is the worker-pool width for each brute-force sweep; 0
 	// means one worker per CPU.
 	Workers int
@@ -101,6 +112,13 @@ func (c Config) maxValuations() int64 {
 		return count.DefaultMaxValuations
 	}
 	return c.MaxValuations
+}
+
+func (c Config) maxCylinders() int {
+	if c.MaxCylinders == 0 {
+		return count.DefaultMaxCylinders
+	}
+	return c.MaxCylinders
 }
 
 func (c Config) maxJobs() int {
@@ -145,6 +163,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/certain", s.handleOp(OpCertain))
 	s.mux.HandleFunc("POST /v1/possible", s.handleOp(OpPossible))
 	s.mux.HandleFunc("POST /v1/estimate", s.handleOp(OpEstimate))
+	s.mux.HandleFunc("POST /v1/explain", s.handleOp(OpExplain))
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -249,6 +268,8 @@ func (s *Server) execute(req Request) (*Response, error) {
 		resp, err = s.execCached(req)
 	case OpEstimate:
 		resp, err = s.execEstimate(req)
+	case OpExplain:
+		resp, err = s.execExplain(req)
 	default:
 		return nil, badRequest("unknown op %q", req.Op)
 	}
@@ -310,8 +331,17 @@ func (s *Server) countOptions(ctx context.Context, req Request, progress func(do
 	if req.MaxValuations > 0 && req.MaxValuations < budget {
 		budget = req.MaxValuations
 	}
+	// Like the valuation budget, the cylinder cap only ever tightens: a
+	// request may lower it or disable the route, never raise it above
+	// the server's cap (the 2^m subset loop runs on the server's root
+	// context and would outlive a disconnecting client).
+	maxCyl := s.cfg.maxCylinders()
+	if req.MaxCylinders < 0 || (req.MaxCylinders > 0 && req.MaxCylinders < maxCyl) {
+		maxCyl = req.MaxCylinders
+	}
 	return &count.Options{
 		MaxValuations: budget,
+		MaxCylinders:  maxCyl,
 		Workers:       s.cfg.Workers,
 		Context:       ctx,
 		Progress:      progress,
@@ -378,23 +408,30 @@ func (s *Server) execCached(req Request) (*Response, error) {
 	return resp.clone(), nil
 }
 
+// countingKind maps the wire kind to the classifier's.
+func countingKind(kind string) classify.CountingKind {
+	if kind == KindComp {
+		return classify.Completions
+	}
+	return classify.Valuations
+}
+
 // compute evaluates one count/certain/possible request.
 func (s *Server) compute(req Request, db *core.Database, q cq.Query, kind string) (*Response, error) {
 	opts := s.countOptions(s.root, req, nil)
 	switch req.Op {
 	case OpCount:
-		var n fmt.Stringer
-		var method count.Method
-		var err error
-		if kind == KindComp {
-			n, method, err = count.CountCompletions(db, q, opts)
-		} else {
-			n, method, err = count.CountValuations(db, q, opts)
-		}
+		// Plan first, execute after: the response carries the same plan
+		// /v1/explain would render for this fingerprint.
+		p, err := count.Explain(db, q, countingKind(kind), opts)
 		if err != nil {
 			return nil, err
 		}
-		return &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: string(method)}, nil
+		n, err := count.ExecutePlan(db, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: p.Method(), Plan: p.JSON()}, nil
 	case OpCertain:
 		holds, err := count.IsCertain(db, q, opts)
 		if err != nil {
@@ -409,6 +446,33 @@ func (s *Server) compute(req Request, db *core.Database, q cq.Query, kind string
 		return &Response{Op: OpPossible, Query: q.String(), Holds: &holds}, nil
 	}
 	return nil, badRequest("unknown op %q", req.Op)
+}
+
+// execExplain compiles and renders the plan of a count request without
+// executing it: the EXPLAIN of the counting service. The response carries
+// the fingerprint of (database, query, kind), so isomorphic inputs can be
+// recognized as sharing one plan shape.
+func (s *Server) execExplain(req Request) (*Response, error) {
+	db, q, err := parseInput(req)
+	if err != nil {
+		return nil, err
+	}
+	fpKind, kind, err := fingerprintKind(Request{Op: OpCount, Kind: req.Kind})
+	if err != nil {
+		return nil, err
+	}
+	p, err := count.Explain(db, q, countingKind(kind), s.countOptions(s.root, req, nil))
+	if err != nil {
+		return nil, badRequest("explain: %v", err)
+	}
+	return &Response{
+		Op:          OpExplain,
+		Query:       q.String(),
+		Kind:        kind,
+		Method:      p.Method(),
+		Plan:        p.JSON(),
+		Fingerprint: fingerprint.Of(db, q, fpKind),
+	}, nil
 }
 
 // execEstimate runs the Karp–Luby FPRAS. Estimates are randomized, so
@@ -433,13 +497,22 @@ func (s *Server) execEstimate(req Request) (*Response, error) {
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
 	}
-	return &Response{
+	resp := &Response{
 		Op:     OpEstimate,
 		Query:  q.String(),
 		Kind:   KindVal,
 		Count:  res.Estimate.String(),
 		Method: fmt.Sprintf("approx/karp-luby(eps=%g, delta=%g, samples=%d)", eps, delta, res.Samples),
-	}, nil
+	}
+	// The sampling plan (cylinder count, classification) rides along like
+	// on exact counts; a failure to plan never fails the estimate. This
+	// rebuilds the cylinder set the estimator already built internally —
+	// accepted, because the polynomial build is dwarfed by the sampling
+	// loop the endpoint exists for.
+	if p, perr := plan.BuildEstimate(db, q); perr == nil {
+		resp.Plan = p.JSON()
+	}
+	return resp, nil
 }
 
 // StartJob registers and launches an asynchronous counting job for req
@@ -489,24 +562,22 @@ func (s *Server) runJob(st *jobState, ctx context.Context, req Request, db *core
 	if kind == "" {
 		kind = KindVal
 	}
-	var n fmt.Stringer
-	var method count.Method
+	// Compile the job's plan up front: a forced job plans the bare sweep
+	// (that is the point of ForceBrute), everything else plans normally.
+	var p *plan.Plan
 	var err error
-	switch {
-	case req.ForceBrute && kind == KindComp:
-		method = count.MethodBruteForce
-		n, err = count.BruteForceCompletions(db, q, opts)
-	case req.ForceBrute:
-		method = count.MethodBruteForce
-		n, err = count.BruteForceValuations(db, q, opts)
-	case kind == KindComp:
-		n, method, err = count.CountCompletions(db, q, opts)
-	default:
-		n, method, err = count.CountValuations(db, q, opts)
+	if req.ForceBrute {
+		p, err = plan.BruteOnly(db, q, countingKind(kind), &plan.Options{MaxValuations: opts.MaxValuations, MaxCylinders: opts.MaxCylinders})
+	} else {
+		p, err = count.Explain(db, q, countingKind(kind), opts)
+	}
+	var n *big.Int
+	if err == nil {
+		n, err = count.ExecutePlan(db, p, opts)
 	}
 	switch {
 	case err == nil:
-		resp := &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: string(method)}
+		resp := &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: p.Method(), Plan: p.JSON()}
 		if fpKind, _, kerr := fingerprintKind(Request{Op: OpCount, Kind: kind}); kerr == nil {
 			fp := fingerprint.Of(db, q, fpKind)
 			resp.Fingerprint = fp
