@@ -1,0 +1,133 @@
+package incompletedb
+
+// The golden public-API surface test: a snapshot of every exported
+// identifier of the root package (plus the exported method sets of the
+// session types, which live behind aliases), diffed in CI so future API
+// breaks are deliberate, reviewed changes — regenerate the golden file
+// with
+//
+//	UPDATE_API_SURFACE=1 go test -run TestPublicAPISurface .
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiSurfaceGolden = "testdata/api_surface.golden"
+
+// publicAPISurface renders the exported surface: one sorted line per
+// exported top-level identifier, plus one per exported method of the
+// session types (whose methods are promoted through type aliases and
+// would otherwise be invisible to an AST scan of this package).
+func publicAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			lines = append(lines, kind+" "+name)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil {
+						add("func", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							add("type", sp.Name.Name)
+						case *ast.ValueSpec:
+							for _, n := range sp.Names {
+								switch d.Tok {
+								case token.VAR:
+									add("var", n.Name)
+								case token.CONST:
+									add("const", n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Method sets of the aliased session types.
+	for name, v := range map[string]interface{}{
+		"*Solver":     &Solver{},
+		"*PreparedDB": &PreparedDB{},
+		"*Result":     &Result{},
+		"*Server":     &Server{},
+	} {
+		rt := reflect.TypeOf(v)
+		for i := 0; i < rt.NumMethod(); i++ {
+			lines = append(lines, fmt.Sprintf("method (%s).%s", name, rt.Method(i).Name))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	got := publicAPISurface(t)
+	if os.Getenv("UPDATE_API_SURFACE") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiSurfaceGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiSurfaceGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d identifiers)", apiSurfaceGolden, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(apiSurfaceGolden)
+	if err != nil {
+		t.Fatalf("missing golden API surface (run with UPDATE_API_SURFACE=1 to create it): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	// Render a readable diff: identifiers added and removed.
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	var added, removed []string
+	for l := range gotSet {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	t.Errorf("public API surface changed — if deliberate, regenerate with UPDATE_API_SURFACE=1 go test -run TestPublicAPISurface .\nadded (%d):\n  %s\nremoved (%d):\n  %s",
+		len(added), strings.Join(added, "\n  "), len(removed), strings.Join(removed, "\n  "))
+}

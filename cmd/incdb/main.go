@@ -37,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	incdb "github.com/incompletedb/incompletedb"
 	"github.com/incompletedb/incompletedb/internal/count"
@@ -62,7 +63,7 @@ func main() {
 	case "count":
 		err = cmdCount(ctx, os.Args[2:])
 	case "explain":
-		err = cmdExplain(os.Args[2:])
+		err = cmdExplain(ctx, os.Args[2:])
 	case "estimate":
 		err = cmdEstimate(ctx, os.Args[2:])
 	case "serve":
@@ -88,15 +89,17 @@ func usage() {
 commands:
   classify -q QUERY              classify an sjfBCQ under all eight variants (Table 1)
   table1                         print the dichotomy table of the paper
-  count -db FILE -q QUERY        count valuations/completions (-kind val|comp|all-comp, -workers N)
+  count -db FILE -q QUERY        count valuations/completions (-kind val|comp|all-comp,
+                                 -workers N, -timeout D)
   explain -db FILE -q QUERY      compile and render the query plan without executing it
-                                 (-kind val|comp, -max N, -max-cylinders N)
-  estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed)
+                                 (-kind val|comp, -max N, -max-cylinders N, -timeout D)
+  estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed, -timeout D)
   serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers, -jobs)
   experiments [-quick] [-seed N] run the paper-reproduction experiment suite
 
-classify and count accept -json for machine-readable output (the same
-schema the serve API returns).`)
+classify, count, explain and estimate accept -json for machine-readable
+output (the same schema the serve API returns). -timeout (for example
+-timeout 30s) aborts long sweeps/sampling with a deadline error.`)
 }
 
 // printJSON writes v to stdout in the server API's JSON shape.
@@ -162,6 +165,16 @@ func loadDB(path string) (*incdb.Database, error) {
 	return incdb.ParseDatabase(f)
 }
 
+// withTimeout wraps ctx with a deadline when the -timeout flag is set,
+// so a long guarded sweep (or sampling loop) aborts cleanly with a
+// deadline error instead of running unbounded.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
 func cmdCount(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("count", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database file")
@@ -169,6 +182,7 @@ func cmdCount(ctx context.Context, args []string) error {
 	kind := fs.String("kind", "val", "what to count: val | comp | all-comp")
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "brute-force guard (number of valuations)")
 	workers := fs.Int("workers", 0, "parallel workers for brute-force sweeps (0 = one per CPU, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "abort counting after this long, e.g. 30s (0 = no timeout)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (count, method, duration)")
 	fs.Parse(args)
 	if *dbPath == "" || (*qstr == "" && *kind != "all-comp") {
@@ -177,6 +191,8 @@ func cmdCount(ctx context.Context, args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("count: -workers must be ≥ 0, got %d", *workers)
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	if *jsonOut {
 		raw, err := os.ReadFile(*dbPath)
 		if err != nil {
@@ -194,34 +210,38 @@ func cmdCount(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := &incdb.CountOptions{MaxValuations: *maxVals, Workers: *workers, Context: ctx}
+	s := incdb.NewSolver(incdb.WithMaxValuations(*maxVals), incdb.WithWorkers(*workers))
+	pdb, err := s.Prepare(db)
+	if err != nil {
+		return err
+	}
 	switch *kind {
 	case "val":
 		q, err := incdb.ParseQuery(*qstr)
 		if err != nil {
 			return err
 		}
-		n, method, err := incdb.CountValuations(db, q, opts)
+		res, err := pdb.Count(ctx, q, incdb.Valuations)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("#Val(%v) = %v   [%s]\n", q, n, method)
+		fmt.Printf("#Val(%v) = %v   [%s]\n", q, res.Count, res.Method)
 	case "comp":
 		q, err := incdb.ParseQuery(*qstr)
 		if err != nil {
 			return err
 		}
-		n, method, err := incdb.CountCompletions(db, q, opts)
+		res, err := pdb.Count(ctx, q, incdb.Completions)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("#Comp(%v) = %v   [%s]\n", q, n, method)
+		fmt.Printf("#Comp(%v) = %v   [%s]\n", q, res.Count, res.Method)
 	case "all-comp":
-		n, err := incdb.CountAllCompletions(db, opts)
+		res, err := pdb.AllCompletions(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("#Comp(TRUE) = %v\n", n)
+		fmt.Printf("#Comp(TRUE) = %v   [%s]\n", res.Count, res.Method)
 	default:
 		return fmt.Errorf("count: unknown -kind %q", *kind)
 	}
@@ -232,13 +252,14 @@ func cmdCount(ctx context.Context, args []string) error {
 // executing it. Text mode prints Plan.Render — byte-identical to what
 // POST /v1/explain and the root Explain API render for the same input —
 // and -json prints the serve API's explain response.
-func cmdExplain(args []string) error {
+func cmdExplain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database file")
 	qstr := fs.String("q", "", "Boolean query")
 	kind := fs.String("kind", "val", "what the plan counts: val | comp")
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "brute-force guard the plan is costed against")
 	maxCyl := fs.Int("max-cylinders", 0, "cylinder inclusion–exclusion cap (0 = default 18, negative disables)")
+	timeout := fs.Duration("timeout", 0, "abandon the command after this long, e.g. 30s (0 = no timeout)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the serve API's explain response)")
 	fs.Parse(args)
 	if *dbPath == "" || *qstr == "" {
@@ -247,6 +268,8 @@ func cmdExplain(args []string) error {
 	if *kind != "val" && *kind != "comp" {
 		return fmt.Errorf("explain: unknown -kind %q (want val or comp)", *kind)
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	if *jsonOut {
 		raw, err := os.ReadFile(*dbPath)
 		if err != nil {
@@ -255,7 +278,7 @@ func cmdExplain(args []string) error {
 		req := server.Request{Op: server.OpExplain, Database: string(raw), Query: *qstr, Kind: *kind, MaxValuations: *maxVals, MaxCylinders: *maxCyl}
 		// The embedded server's caps mirror the flags, so the request is
 		// never clamped below what text mode plans with.
-		return execJSON(context.Background(), server.Config{MaxValuations: *maxVals, MaxCylinders: *maxCyl}, req)
+		return execJSON(ctx, server.Config{MaxValuations: *maxVals, MaxCylinders: *maxCyl}, req)
 	}
 	db, err := loadDB(*dbPath)
 	if err != nil {
@@ -269,12 +292,34 @@ func cmdExplain(args []string) error {
 	if *kind == "comp" {
 		ckind = incdb.Completions
 	}
-	p, err := incdb.Explain(db, q, ckind, &incdb.CountOptions{MaxValuations: *maxVals, MaxCylinders: *maxCyl})
+	s := incdb.NewSolver(incdb.WithMaxValuations(*maxVals), incdb.WithMaxCylinders(*maxCyl))
+	pdb, err := s.Prepare(db)
 	if err != nil {
 		return err
 	}
-	fmt.Print(p.Render())
-	return nil
+	// Planning is polynomial but not instantaneous on big inputs, and it
+	// has no internal cancellation points — run it aside and let the
+	// deadline (or Ctrl-C) abandon it, so -timeout bounds this command
+	// like it bounds count and estimate.
+	type planned struct {
+		p   *incdb.Plan
+		err error
+	}
+	ch := make(chan planned, 1)
+	go func() {
+		p, err := pdb.Explain(q, ckind)
+		ch <- planned{p, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case out := <-ch:
+		if out.err != nil {
+			return out.err
+		}
+		fmt.Print(out.p.Render())
+		return nil
+	}
 }
 
 func cmdEstimate(ctx context.Context, args []string) error {
@@ -284,9 +329,21 @@ func cmdEstimate(ctx context.Context, args []string) error {
 	eps := fs.Float64("eps", 0.05, "multiplicative error ε")
 	delta := fs.Float64("delta", 0.05, "failure probability δ")
 	seed := fs.Int64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "abort sampling after this long, e.g. 30s (0 = no timeout)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the serve API's estimate response, sampling diagnostics included)")
 	fs.Parse(args)
 	if *dbPath == "" || *qstr == "" {
 		return fmt.Errorf("estimate: -db and -q are required")
+	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	if *jsonOut {
+		raw, err := os.ReadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		req := server.Request{Op: server.OpEstimate, Database: string(raw), Query: *qstr, Eps: *eps, Delta: *delta, Seed: *seed}
+		return execJSON(ctx, server.Config{}, req)
 	}
 	db, err := loadDB(*dbPath)
 	if err != nil {
@@ -296,11 +353,16 @@ func cmdEstimate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := incdb.EstimateValuationsContext(ctx, db, q, *eps, *delta, rand.New(rand.NewSource(*seed)))
+	pdb, err := incdb.NewSolver().Prepare(db)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("#Val(%v) ≈ %v   (ε=%v, δ=%v; Karp–Luby FPRAS)\n", q, est, *eps, *delta)
+	res, err := pdb.Estimate(ctx, q, *eps, *delta, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("#Val(%v) ≈ %v   (ε=%v, δ=%v; Karp–Luby FPRAS)\n", q, res.Estimate, *eps, *delta)
+	fmt.Printf("  %d samples over %d cylinders (total weight %v)\n", res.Samples, res.Cylinders, res.TotalWeight)
 	return nil
 }
 

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/incompletedb/incompletedb/internal/server"
 )
@@ -123,7 +125,7 @@ func TestCmdCountWorkers(t *testing.T) {
 func TestCmdExplain(t *testing.T) {
 	db := writeTestDB(t)
 	out, err := capture(t, func() error {
-		return cmdExplain([]string{"-db", db, "-q", "S(x, x)"})
+		return cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, x)"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +148,7 @@ func TestCmdExplain(t *testing.T) {
 	// A self-join falls outside the sjfBCQ theorems and lands on cylinder
 	// inclusion–exclusion.
 	out, err = capture(t, func() error {
-		return cmdExplain([]string{"-db", db, "-q", "S(x, y) ∧ S(y, z)"})
+		return cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, y) ∧ S(y, z)"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +164,7 @@ func TestCmdExplain(t *testing.T) {
 
 	// -kind comp plans the completion problem.
 	out, err = capture(t, func() error {
-		return cmdExplain([]string{"-db", db, "-q", "S(x, x)", "-kind", "comp"})
+		return cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-kind", "comp"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +176,7 @@ func TestCmdExplain(t *testing.T) {
 	// Planning never executes: a guard-sized instance still explains, and
 	// the sweep cost is flagged.
 	out, err = capture(t, func() error {
-		return cmdExplain([]string{"-db", db, "-q", "S(x, y) ∧ S(y, z)", "-max", "1", "-max-cylinders", "-1"})
+		return cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, y) ∧ S(y, z)", "-max", "1", "-max-cylinders", "-1"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -183,10 +185,10 @@ func TestCmdExplain(t *testing.T) {
 		t.Errorf("guard excess not rendered:\n%s", out)
 	}
 
-	if err := cmdExplain([]string{"-db", db}); err == nil {
+	if err := cmdExplain(context.Background(), []string{"-db", db}); err == nil {
 		t.Error("missing -q accepted")
 	}
-	if err := cmdExplain([]string{"-db", db, "-q", "S(x, x)", "-kind", "bogus"}); err == nil {
+	if err := cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-kind", "bogus"}); err == nil {
 		t.Error("bogus kind accepted")
 	}
 }
@@ -196,13 +198,13 @@ func TestCmdExplain(t *testing.T) {
 func TestCmdExplainJSON(t *testing.T) {
 	db := writeTestDB(t)
 	text, err := capture(t, func() error {
-		return cmdExplain([]string{"-db", db, "-q", "S(x, x)"})
+		return cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, x)"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return cmdExplain([]string{"-db", db, "-q", "S(x, x)", "-json"})
+		return cmdExplain(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-json"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -225,11 +227,11 @@ func TestCmdExplainJSON(t *testing.T) {
 	// modes: the JSON path's embedded server must not clamp it back to
 	// the default.
 	args := []string{"-db", db, "-q", "S(x, y) ∧ S(y, z)", "-max-cylinders", "25"}
-	text, err = capture(t, func() error { return cmdExplain(args) })
+	text, err = capture(t, func() error { return cmdExplain(context.Background(), args) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err = capture(t, func() error { return cmdExplain(append(args, "-json")) })
+	out, err = capture(t, func() error { return cmdExplain(context.Background(), append(args, "-json")) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,6 +240,65 @@ func TestCmdExplainJSON(t *testing.T) {
 	}
 	if resp.Plan.Text != text {
 		t.Errorf("raised cap renders differently in JSON mode:\n--- json ---\n%s--- text ---\n%s", resp.Plan.Text, text)
+	}
+}
+
+// TestCmdCountTimeout: a tiny -timeout aborts a large guarded sweep
+// cleanly — a prompt deadline error instead of minutes of enumeration.
+func TestCmdCountTimeout(t *testing.T) {
+	// 15 nulls × domain 4 = 2^30 ≈ 1.07e9 valuations, all relevant to the
+	// query. The inequality keeps the query off every fast path (not a
+	// BCQ/UCQ: no theorems, no factorization, no cylinder route), so the
+	// planner must sweep.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.idb")
+	var sb strings.Builder
+	sb.WriteString("uniform a b c d\n")
+	for i := 1; i+1 <= 15; i += 2 {
+		fmt.Fprintf(&sb, "R(?%d, ?%d)\n", i, i+1)
+	}
+	sb.WriteString("R(?15, a)\n")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-db", path, "-q", "R(x, y) ∧ x ≠ y", "-kind", "val",
+		"-max", "2000000000", "-workers", "2", "-timeout", "100ms",
+	}
+	start := time.Now()
+	err := cmdCount(context.Background(), args)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("a 100ms timeout completed a ~10^9-valuation sweep?")
+	}
+	if !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("expected a deadline error, got: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("timeout did not abort promptly: took %v", elapsed)
+	}
+}
+
+// TestCmdEstimateJSON: estimate -json emits the serve API's estimate
+// response, sampling diagnostics included.
+func TestCmdEstimateJSON(t *testing.T) {
+	db := writeTestDB(t)
+	out, err := capture(t, func() error {
+		return cmdEstimate(context.Background(), []string{"-db", db, "-q", "S(x, x)", "-eps", "0.2", "-delta", "0.2", "-seed", "7", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if resp.Op != server.OpEstimate || resp.Count == "" || resp.Method == "" {
+		t.Errorf("estimate -json: %+v", resp)
+	}
+	if resp.Estimate == nil || resp.Estimate.Samples == 0 || resp.Estimate.Cylinders == 0 ||
+		resp.Estimate.TotalWeight == "" || resp.Estimate.Seed != 7 {
+		t.Errorf("estimate -json lacks sampling diagnostics: %+v", resp.Estimate)
 	}
 }
 

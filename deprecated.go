@@ -1,0 +1,257 @@
+package incompletedb
+
+// The original free-function API, kept as thin shims over a lazily-built
+// package-level Solver so existing callers keep working — with
+// bit-identical results — while new code migrates to sessions:
+//
+//	CountValuations(db, q, opts)      →  pdb.Count(ctx, q, Valuations)
+//	CountCompletions(db, q, opts)     →  pdb.Count(ctx, q, Completions)
+//	CountAllCompletions(db, opts)     →  pdb.AllCompletions(ctx)
+//	TotalValuations(db)               →  pdb.TotalValuations()
+//	Explain(db, q, kind, opts)        →  pdb.Explain(q, kind)
+//	IsCertain(db, q, opts)            →  pdb.Certain(ctx, q)
+//	IsPossible(db, q, opts)           →  pdb.Possible(ctx, q)
+//	Mu(db, q, k, opts)                →  pdb.Mu(ctx, q, k)
+//	EstimateValuations(db, q, …)      →  pdb.Estimate(ctx, q, …)
+//	MonteCarloValuations(db, q, …)    →  pdb.MonteCarlo(ctx, q, …)
+//	CompletionsLowerBound(db, q, …)   →  pdb.CompletionsLowerBound(ctx, q, …)
+//
+// where pdb comes from NewSolver(…).Prepare(db). The shims funnel through
+// the default solver's result cache, so even legacy callers benefit from
+// fingerprint-keyed caching; per-call options that tighten the planning
+// knobs bypass the cache read, so guards behave exactly as before.
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"sync"
+
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/solver"
+)
+
+// defaultSolver is the lazily-built Solver behind the deprecated free
+// functions.
+var defaultSolver = sync.OnceValue(func() *Solver { return solver.NewSolver() })
+
+// DefaultSolver returns the package-level Solver the deprecated free
+// functions run on. Prefer creating your own with NewSolver.
+func DefaultSolver() *Solver { return defaultSolver() }
+
+// optsContext extracts the cancellation context of legacy per-call
+// options (context.Background when absent).
+func optsContext(opts *CountOptions) context.Context {
+	if opts != nil && opts.Context != nil {
+		return opts.Context
+	}
+	return context.Background()
+}
+
+// prepareDefault builds a throwaway session on the default solver for one
+// legacy call.
+func prepareDefault(db *Database) (*PreparedDB, error) {
+	return defaultSolver().Prepare(db)
+}
+
+// CountValuations computes #Val(q)(db) exactly, picking a polynomial-time
+// algorithm of the paper when one applies and guarded brute force
+// otherwise. It reports which method was used.
+//
+// Deprecated: use Solver.Prepare and PreparedDB.Count, which amortize
+// canonicalization and plan compilation across calls and return a full
+// Result (method, plan, execution stats).
+func CountValuations(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := pdb.CountWith(optsContext(opts), q, Valuations, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Count, res.Method, nil
+}
+
+// CountCompletions computes #Comp(q)(db) exactly, picking the
+// polynomial-time algorithm of Theorem 4.6 when it applies and guarded
+// brute force with canonical deduplication otherwise.
+//
+// Deprecated: use Solver.Prepare and PreparedDB.Count with kind
+// Completions.
+func CountCompletions(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := pdb.CountWith(optsContext(opts), q, Completions, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Count, res.Method, nil
+}
+
+// Explain compiles (db, q, kind) into the costed, explainable plan the
+// counting functions execute — which algorithm answers each sub-problem,
+// everything tried before it with the precondition that failed, the
+// Table 1 classification where it applies, and per-node cost estimates —
+// without executing anything. The rendered plan is identical to what
+// `incdb explain` and POST /v1/explain produce for the same input.
+//
+// Deprecated: use Solver.Prepare and PreparedDB.Explain, which cache the
+// compiled plan (and its sweep engine) per canonical query.
+func Explain(db *Database, q Query, kind CountingKind, opts *CountOptions) (*Plan, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, err
+	}
+	return pdb.ExplainWith(q, kind, opts)
+}
+
+// ExecutePlan computes the count a plan compiled by Explain describes.
+// CountValuations/CountCompletions are equivalent to Explain followed by
+// ExecutePlan. db must be the same database the plan was compiled from
+// (the plan's payloads embed its facts); a different database is
+// rejected.
+//
+// Deprecated: use PreparedDB.Count, which plans and executes in one step
+// through the solver's caches.
+func ExecutePlan(db *Database, p *Plan, opts *CountOptions) (*big.Int, error) {
+	return count.ExecutePlan(db, p, opts)
+}
+
+// CountAllCompletions counts the distinct completions of db.
+//
+// Deprecated: use PreparedDB.AllCompletions, whose Result also reports
+// the method and plan (this shim, like the session method, routes
+// #Comp(TRUE) through the planner).
+func CountAllCompletions(db *Database, opts *CountOptions) (*big.Int, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pdb.AllCompletionsWith(optsContext(opts), opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Count, nil
+}
+
+// TotalValuations returns the number of valuations of db (the product of
+// its nulls' domain sizes).
+//
+// Deprecated: use PreparedDB.TotalValuations, which computes the size
+// once at Prepare time.
+func TotalValuations(db *Database) (*big.Int, error) {
+	return db.NumValuations()
+}
+
+// EstimateValuations runs the Karp–Luby FPRAS for #Val(q)(db) with
+// multiplicative error ε and failure probability δ; q must be a (union of)
+// BCQ(s). The estimate carries the guarantee
+// Pr(|estimate − #Val| ≤ ε·#Val) ≥ 1 − δ.
+//
+// Deprecated: use PreparedDB.Estimate, which also reports the sampling
+// diagnostics (samples, cylinders, total weight) this shim discards.
+func EstimateValuations(db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
+	return EstimateValuationsContext(context.Background(), db, q, eps, delta, r)
+}
+
+// EstimateValuationsContext is EstimateValuations with cancellation: the
+// sampling loop stops with ctx's error shortly after ctx is done.
+//
+// Deprecated: use PreparedDB.Estimate.
+func EstimateValuationsContext(ctx context.Context, db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pdb.Estimate(ctx, q, eps, delta, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimate, nil
+}
+
+// MonteCarloValuations estimates #Val(q)(db) by uniform sampling (unbiased
+// but without FPRAS guarantees).
+//
+// Deprecated: use PreparedDB.MonteCarlo, which also reports the
+// satisfying fraction and sample tallies this shim discards.
+func MonteCarloValuations(db *Database, q Query, samples int, r *rand.Rand) (*big.Int, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pdb.MonteCarlo(context.Background(), q, samples, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimate, nil
+}
+
+// CompletionsLowerBound samples valuations and reports the number of
+// distinct satisfying completions observed — a lower bound on #Comp(q)(db)
+// with no approximation guarantee (none is possible unless NP = RP;
+// Theorems 5.5/5.7 of the paper).
+//
+// Deprecated: use PreparedDB.CompletionsLowerBound, which also reports
+// the sampling tallies this shim discards.
+func CompletionsLowerBound(db *Database, q Query, samples int, r *rand.Rand) (*big.Int, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pdb.CompletionsLowerBound(context.Background(), q, samples, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.Bound, nil
+}
+
+// IsCertain reports whether q holds in every completion of db (the
+// classical certainty problem the counting problems refine).
+//
+// Deprecated: use PreparedDB.Certain, whose Result verdicts are cached by
+// canonical fingerprint.
+func IsCertain(db *Database, q Query, opts *CountOptions) (bool, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return false, err
+	}
+	res, err := pdb.CertainWith(optsContext(opts), q, opts)
+	if err != nil {
+		return false, err
+	}
+	return *res.Holds, nil
+}
+
+// IsPossible reports whether q holds in some completion of db.
+//
+// Deprecated: use PreparedDB.Possible.
+func IsPossible(db *Database, q Query, opts *CountOptions) (bool, error) {
+	pdb, err := prepareDefault(db)
+	if err != nil {
+		return false, err
+	}
+	res, err := pdb.PossibleWith(optsContext(opts), q, opts)
+	if err != nil {
+		return false, err
+	}
+	return *res.Holds, nil
+}
+
+// Mu computes Libkin's relative frequency µ_k(q, T): the fraction of
+// valuations over the uniform domain {1, …, k} satisfying q, using db's
+// naïve table and ignoring its attached domains (Section 7 of the paper).
+//
+// Deprecated: use PreparedDB.Mu (or Solver.Mu for tables whose nulls
+// carry no domains), whose MuResult also reports the underlying counting
+// Result.
+func Mu(db *Database, q Query, k int, opts *CountOptions) (*big.Rat, error) {
+	res, err := defaultSolver().Mu(optsContext(opts), db, q, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Ratio, nil
+}

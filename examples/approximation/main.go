@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -16,7 +17,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	r := rand.New(rand.NewSource(2020))
+	s := incdb.NewSolver()
 
 	// A uniform database with domain size 20: one binary tuple R(⊥1,⊥2)
 	// and 60 free unary nulls. The valuation space has 20^62 ≈ 5·10^80
@@ -36,26 +39,27 @@ func main() {
 	q := incdb.MustParseQuery("R(x, x)")
 
 	exact := new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(61), nil)
-	total, err := incdb.TotalValuations(db)
+	pdb, err := s.Prepare(db)
 	if err != nil {
 		log.Fatal(err)
 	}
+	total := pdb.TotalValuations()
 	fmt.Printf("valuation space: %v (≈ 10^%d)\n", total, len(total.String())-1)
 	fmt.Printf("exact #Val(R(x,x)) in closed form: %v\n\n", exact)
 
 	for _, eps := range []float64{0.2, 0.1, 0.05} {
 		start := time.Now()
-		est, err := incdb.EstimateValuations(db, q, eps, 0.05, r)
+		est, err := pdb.Estimate(ctx, q, eps, 0.05, r)
 		if err != nil {
 			log.Fatal(err)
 		}
-		relErr := new(big.Rat).SetFrac(new(big.Int).Sub(est, exact), exact)
+		relErr := new(big.Rat).SetFrac(new(big.Int).Sub(est.Estimate, exact), exact)
 		f, _ := relErr.Float64()
 		if f < 0 {
 			f = -f
 		}
-		fmt.Printf("Karp–Luby ε=%-5v: estimate %v   rel.err %.4f   (%v)\n",
-			eps, est, f, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("Karp–Luby ε=%-5v: estimate %v   rel.err %.4f   (%d samples over %d cylinders, %v)\n",
+			eps, est.Estimate, f, est.Samples, est.Cylinders, time.Since(start).Round(time.Millisecond))
 	}
 
 	// Naïve Monte Carlo on the same instance: the satisfying fraction is
@@ -71,16 +75,21 @@ func main() {
 
 	fmt.Printf("\nrare-event query %v: exact #Val = %v of %v\n", rare, exact2,
 		new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(6), nil))
-	mc, err := incdb.MonteCarloValuations(db2, rare, 2000, r)
+	pdb2, err := s.Prepare(db2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kl, err := incdb.EstimateValuations(db2, rare, 0.1, 0.05, r)
+	mc, err := pdb2.MonteCarlo(ctx, rare, 2000, r)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("naïve Monte Carlo (2000 samples): %v   <- typically 0: the event is too rare\n", mc)
-	fmt.Printf("Karp–Luby FPRAS   (ε=0.1):        %v   <- guaranteed within 10%%\n", kl)
+	kl, err := pdb2.Estimate(ctx, rare, 0.1, 0.05, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naïve Monte Carlo (2000 samples): %v (%d/%d satisfied)   <- typically 0: the event is too rare\n",
+		mc.Estimate, mc.Satisfied, mc.Samples)
+	fmt.Printf("Karp–Luby FPRAS   (ε=0.1):        %v   <- guaranteed within 10%%\n", kl.Estimate)
 
 	fmt.Println("\nCompletions, by contrast, admit no FPRAS unless NP = RP")
 	fmt.Println("(Theorems 5.5/5.7); see examples/hardness_gadgets for the gadget.")

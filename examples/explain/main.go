@@ -12,13 +12,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	incdb "github.com/incompletedb/incompletedb"
 )
 
 func main() {
+	ctx := context.Background()
+	s := incdb.NewSolver()
+
 	// --- A tractable problem: Theorem 3.6 ------------------------------
 	// Every variable occurs exactly once, so per-atom counts multiply.
 	easy := incdb.NewUniformDatabase([]string{"a", "b", "c"})
@@ -26,17 +31,23 @@ func main() {
 	easy.MustAddFact("S", incdb.Null(2))
 	qEasy := incdb.MustParseQuery("R(x, y) ∧ S(z)")
 
-	pEasy, err := incdb.Explain(easy, qEasy, incdb.Valuations, nil)
+	pdbEasy, err := s.Prepare(easy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pEasy, err := pdbEasy.Explain(qEasy, incdb.Valuations)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== tractable: a Table 1 FP cell ===")
 	fmt.Print(pEasy.Render())
-	n, err := incdb.ExecutePlan(easy, pEasy, nil)
+	// Counting executes the very plan the session just rendered — it is
+	// cached per canonical query, so nothing is compiled twice.
+	res, err := pdbEasy.Count(ctx, qEasy, incdb.Valuations)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed: #Val = %v   [%s]\n\n", n, pEasy.Method())
+	fmt.Printf("executed: #Val = %v   [%s]\n\n", res.Count, res.Method)
 
 	// --- A hard problem the factorization rescues ----------------------
 	// R(x,x) is a hard pattern for every exact algorithm here, the 20
@@ -52,15 +63,21 @@ func main() {
 	}
 	qHard := incdb.MustParseQuery("R(x, x) ∧ S(y, y)")
 
-	pHard, err := incdb.Explain(hard, qHard, incdb.Valuations, nil)
+	pdbHard, err := s.Prepare(hard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pHard, err := pdbHard.Explain(qHard, incdb.Valuations)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== hard: #P-complete, beyond the joint-sweep guard ===")
 	fmt.Print(pHard.Render())
-	n, err = incdb.ExecutePlan(hard, pHard, nil)
+	resHard, err := pdbHard.Count(ctx, qHard, incdb.Valuations)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed: #Val = %v   [%s]\n", n, pHard.Method())
+	fmt.Printf("executed: #Val = %v   [%s]\n", resHard.Count, resHard.Method)
+	fmt.Printf("swept %v valuations across the factored components (%v total wall time)\n",
+		resHard.Stats.SweptValuations, resHard.Stats.Wall.Round(time.Millisecond))
 }

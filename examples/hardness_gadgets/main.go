@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -59,16 +60,23 @@ func colorabilityGadget(n int, edges [][2]int) *incdb.Database {
 }
 
 func main() {
+	ctx := context.Background()
+	s := incdb.NewSolver()
+
 	// --- Proposition 4.2: vertex covers of a 4-cycle -------------------
 	// C4 has 7 vertex covers: 1 full, 4 of size 3, 2 of size 2.
 	c4 := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
 	db := vertexCoverGadget(4, c4)
-	comp, method, err := incdb.CountCompletions(db, incdb.MustParseQuery("R(x)"), nil)
+	pdb, err := s.Prepare(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := pdb.Count(ctx, incdb.MustParseQuery("R(x)"), incdb.Completions)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Proposition 4.2 — #VC(C4) as a completion count:")
-	fmt.Printf("  #CompCd(R(x)) = %v   (C4 has 7 vertex covers)   [%s]\n\n", comp, method)
+	fmt.Printf("  #CompCd(R(x)) = %v   (C4 has 7 vertex covers)   [%s]\n\n", comp.Count, comp.Method)
 
 	// --- Proposition 5.6: the 7-vs-8 gadget ----------------------------
 	triangle := [][2]int{{0, 1}, {1, 2}, {2, 0}}
@@ -82,22 +90,26 @@ func main() {
 		{"K4 (NOT 3-colorable)", 4, k4},
 	} {
 		g := colorabilityGadget(tc.n, tc.edges)
-		nComp, _, err := incdb.CountCompletions(g, incdb.MustParseQuery("R(x, x)"), nil)
+		gpdb, err := s.Prepare(g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Proposition 5.6 — %s: %v completions\n", tc.name, nComp)
+		nComp, err := gpdb.Count(ctx, incdb.MustParseQuery("R(x, x)"), incdb.Completions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Proposition 5.6 — %s: %v completions\n", tc.name, nComp.Count)
 
 		// What an estimator sees: a sampling lower bound keeps finding the
 		// 7 "easy" completions; the 8th exists only along proper
 		// 3-colorings, so distinguishing 7 from 8 within ε < 1/15 solves
 		// 3-colorability.
-		lb, err := incdb.CompletionsLowerBound(g, incdb.MustParseQuery("R(x, x)"), 200,
+		lb, err := gpdb.CompletionsLowerBound(ctx, incdb.MustParseQuery("R(x, x)"), 200,
 			rand.New(rand.NewSource(1)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  sampling lower bound after 200 draws: %v\n", lb)
+		fmt.Printf("  sampling lower bound after 200 draws: %v (%d distinct completions seen)\n", lb.Bound, lb.Distinct)
 	}
 
 	fmt.Println()

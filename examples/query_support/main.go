@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -43,10 +44,13 @@ func main() {
 		{"Shift(p, s) ∧ Qualified(p) ∧ Extra(p)", "impossible: relation Extra is empty"},
 	}
 
-	total, err := incdb.TotalValuations(db)
+	// One session answers the whole battery: the roster is prepared once.
+	ctx := context.Background()
+	pdb, err := incdb.NewSolver().Prepare(db)
 	if err != nil {
 		log.Fatal(err)
 	}
+	total := pdb.TotalValuations()
 	fmt.Printf("Roster with %d unknowns; %v possible valuations.\n\n", len(db.Nulls()), total)
 
 	for _, qq := range queries {
@@ -54,14 +58,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		val, _, err := incdb.CountValuations(db, q, nil)
+		valRes, err := pdb.Count(ctx, q, incdb.Valuations)
 		if err != nil {
 			log.Fatal(err)
 		}
-		comp, _, err := incdb.CountCompletions(db, q, nil)
+		compRes, err := pdb.Count(ctx, q, incdb.Completions)
 		if err != nil {
 			log.Fatal(err)
 		}
+		val, comp := valRes.Count, compRes.Count
 		support := new(big.Rat).SetFrac(val, total)
 		f, _ := support.Float64()
 		status := "possible"

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,28 +45,32 @@ func main() {
 		log.Fatal(err)
 	}
 
-	total, err := incdb.TotalValuations(db)
+	// Prepare the database once, then ask any number of questions: the
+	// session amortizes canonicalization, planning and engine compilation
+	// across the calls.
+	ctx := context.Background()
+	pdb, err := incdb.NewSolver().Prepare(db)
 	if err != nil {
 		log.Fatal(err)
 	}
-	val, method, err := incdb.CountValuations(db, q, nil)
+	val, err := pdb.Count(ctx, q, incdb.Valuations)
 	if err != nil {
 		log.Fatal(err)
 	}
-	comp, _, err := incdb.CountCompletions(db, q, nil)
+	comp, err := pdb.Count(ctx, q, incdb.Completions)
 	if err != nil {
 		log.Fatal(err)
 	}
-	all, err := incdb.CountAllCompletions(db, nil)
+	all, err := pdb.AllCompletions(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println()
-	fmt.Printf("total valuations:          %v\n", total)
-	fmt.Printf("#Val(q)(D)  = %v   (paper: 4)   [%s]\n", val, method)
-	fmt.Printf("#Comp(q)(D) = %v   (paper: 3)\n", comp)
-	fmt.Printf("distinct completions:      %v\n", all)
+	fmt.Printf("total valuations:          %v\n", pdb.TotalValuations())
+	fmt.Printf("#Val(q)(D)  = %v   (paper: 4)   [%s]\n", val.Count, val.Method)
+	fmt.Printf("#Comp(q)(D) = %v   (paper: 3)\n", comp.Count)
+	fmt.Printf("distinct completions:      %v   [%s]\n", all.Count, all.Method)
 	fmt.Println()
 	fmt.Println("The two counting problems differ because distinct valuations can")
 	fmt.Println("collapse to the same completion under set semantics.")

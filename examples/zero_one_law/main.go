@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,12 @@ import (
 )
 
 func main() {
-	// A naïve table with joined unknowns: T = {R(⊥1,⊥2), R(⊥2,⊥3)}.
+	ctx := context.Background()
+	s := incdb.NewSolver()
+
+	// A naïve table with joined unknowns: T = {R(⊥1,⊥2), R(⊥2,⊥3)}. Its
+	// nulls carry no domains — µ_k supplies the domain {1..k} itself, so
+	// the frequencies go through Solver.Mu rather than a prepared session.
 	db := incdb.NewDatabase()
 	db.MustAddFact("R", incdb.Null(1), incdb.Null(2))
 	db.MustAddFact("R", incdb.Null(2), incdb.Null(3))
@@ -38,11 +44,11 @@ func main() {
 	for _, entry := range queries {
 		fmt.Printf("%-26s", entry.q.String())
 		for _, k := range ks {
-			mu, err := incdb.Mu(db, entry.q, k, nil)
+			mu, err := s.Mu(ctx, db, entry.q, k, nil)
 			if err != nil {
 				log.Fatal(err)
 			}
-			f, _ := mu.Float64()
+			f, _ := mu.Ratio.Float64()
 			fmt.Printf("%9.4f", f)
 		}
 		fmt.Printf("   %s\n", entry.note)
@@ -59,10 +65,14 @@ func main() {
 	for _, f := range db.Facts() {
 		uniform.MustAddFact(f.Rel, f.Args...)
 	}
-	certain, err := incdb.IsCertain(uniform, incdb.MustParseQuery("R(x, y)"), nil)
+	updb, err := s.Prepare(uniform)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nIsCertain(R(x,y)) over {1..4}: %v — µ_k ≡ 1 exactly when the\n", certain)
+	certain, err := updb.Certain(ctx, incdb.MustParseQuery("R(x, y)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCertain(R(x,y)) over {1..4}: %v — µ_k ≡ 1 exactly when the\n", *certain.Holds)
 	fmt.Println("query is certain (here R(x,y) holds in every completion).")
 }

@@ -14,13 +14,13 @@
 //     q) and #Comp(q) (distinct completions satisfying q), solved exactly
 //     by the paper's four polynomial-time algorithms on the tractable sides
 //     of Table 1 and by guarded brute force elsewhere — the brute-force
-//     sweep shards the valuation space across a worker pool
-//     (CountOptions.Workers, default one worker per CPU) and supports
-//     cancellation via CountOptions.Context, with results identical to a
-//     serial sweep;
-//   - an indexable valuation space (ValuationSpace) with O(#nulls) random
-//     access, the substrate for both sharded enumeration and uniform
-//     sampling;
+//     sweep shards the valuation space across a worker pool and supports
+//     cancellation, with results identical to a serial sweep;
+//   - a session-centric API (Solver, PreparedDB) that amortizes
+//     canonicalization, plan construction and sweep-engine compilation
+//     across many queries over one database, caches results by canonical
+//     fingerprint, and streams satisfying completions through Go
+//     iterators;
 //   - the dichotomy classifier of Table 1, including approximability
 //     (Section 5) and the beyond-#P observations (Section 6);
 //   - a Karp–Luby FPRAS for #Val(q) over unions of BCQs (Corollary 5.3),
@@ -36,23 +36,25 @@
 //	db.MustAddFact("S", incompletedb.Const("a"), incompletedb.Null(2))
 //	db.SetDomain(1, []string{"a", "b", "c"})
 //	db.SetDomain(2, []string{"a", "b"})
+//
+//	s := incompletedb.NewSolver()
+//	pdb, err := s.Prepare(db)
 //	q := incompletedb.MustParseQuery("S(x, x)")
-//	n, method, err := incompletedb.CountValuations(db, q, nil)
-//	// n = 4, the #Val(q) count of Example 2.2 / Figure 1 of the paper.
+//	res, err := pdb.Count(ctx, q, incompletedb.Valuations)
+//	// res.Count = 4, the #Val(q) count of Example 2.2 / Figure 1 of the
+//	// paper; res.Method and res.Plan explain how it was computed.
+//
+// See solver.go for the session API (Prepare once, query many times,
+// stream completions) and deprecated.go for the original free functions,
+// which remain as thin shims.
 //
 // All counts are exact big integers; the library is pure Go standard
 // library.
 package incompletedb
 
 import (
-	"context"
-	"math/big"
-	"math/rand"
-
-	"github.com/incompletedb/incompletedb/internal/approx"
 	"github.com/incompletedb/incompletedb/internal/classify"
 	"github.com/incompletedb/incompletedb/internal/core"
-	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/fingerprint"
 	"github.com/incompletedb/incompletedb/internal/plan"
@@ -127,18 +129,6 @@ const (
 	OpenComplexity = classify.Open
 )
 
-// CountOptions configures counting: the brute-force guard
-// (MaxValuations), the cylinder inclusion–exclusion cap (MaxCylinders),
-// the size of the worker pool brute-force sweeps shard the valuation
-// space across (Workers; 0 means one worker per CPU), and an optional
-// cancellation Context.
-type CountOptions = count.Options
-
-// Method identifies the algorithm used to produce a count. For rewrite
-// plans it is the plan's operator signature, e.g.
-// "complement(exact/theorem-3.9)".
-type Method = count.Method
-
 // Query-planning types (package internal/plan): the explainable, costed
 // plan DAG the counting dispatchers compile before executing, with
 // per-node decision records of every algorithm tried and the paper
@@ -201,108 +191,9 @@ var (
 	Table1 = classify.Table1
 )
 
-// CountValuations computes #Val(q)(db) exactly, picking a polynomial-time
-// algorithm of the paper when one applies and guarded brute force
-// otherwise. It reports which method was used.
-func CountValuations(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
-	return count.CountValuations(db, q, opts)
-}
-
-// CountCompletions computes #Comp(q)(db) exactly, picking the
-// polynomial-time algorithm of Theorem 4.6 when it applies and guarded
-// brute force with canonical deduplication otherwise.
-func CountCompletions(db *Database, q Query, opts *CountOptions) (*big.Int, Method, error) {
-	return count.CountCompletions(db, q, opts)
-}
-
-// Explain compiles (db, q, kind) into the costed, explainable plan the
-// counting functions execute — which algorithm answers each sub-problem,
-// everything tried before it with the precondition that failed, the
-// Table 1 classification where it applies, and per-node cost estimates —
-// without executing anything. The rendered plan is identical to what
-// `incdb explain` and POST /v1/explain produce for the same input.
-func Explain(db *Database, q Query, kind CountingKind, opts *CountOptions) (*Plan, error) {
-	return count.Explain(db, q, kind, opts)
-}
-
-// ExecutePlan computes the count a plan compiled by Explain describes.
-// CountValuations/CountCompletions are equivalent to Explain followed by
-// ExecutePlan. db must be the same database the plan was compiled from
-// (the plan's payloads embed its facts); a different database is
-// rejected.
-func ExecutePlan(db *Database, p *Plan, opts *CountOptions) (*big.Int, error) {
-	return count.ExecutePlan(db, p, opts)
-}
-
-// CountAllCompletions counts the distinct completions of db.
-func CountAllCompletions(db *Database, opts *CountOptions) (*big.Int, error) {
-	return count.BruteForceAllCompletions(db, opts)
-}
-
-// TotalValuations returns the number of valuations of db (the product of
-// its nulls' domain sizes).
-func TotalValuations(db *Database) (*big.Int, error) {
-	return db.NumValuations()
-}
-
-// EstimateValuations runs the Karp–Luby FPRAS for #Val(q)(db) with
-// multiplicative error ε and failure probability δ; q must be a (union of)
-// BCQ(s). The estimate carries the guarantee
-// Pr(|estimate − #Val| ≤ ε·#Val) ≥ 1 − δ.
-func EstimateValuations(db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
-	return EstimateValuationsContext(context.Background(), db, q, eps, delta, r)
-}
-
-// EstimateValuationsContext is EstimateValuations with cancellation: the
-// sampling loop stops with ctx's error shortly after ctx is done.
-func EstimateValuationsContext(ctx context.Context, db *Database, q Query, eps, delta float64, r *rand.Rand) (*big.Int, error) {
-	res, err := approx.KarpLubyValuationsContext(ctx, db, q, eps, delta, r)
-	if err != nil {
-		return nil, err
-	}
-	return res.Estimate, nil
-}
-
-// MonteCarloValuations estimates #Val(q)(db) by uniform sampling (unbiased
-// but without FPRAS guarantees).
-func MonteCarloValuations(db *Database, q Query, samples int, r *rand.Rand) (*big.Int, error) {
-	res, err := approx.MonteCarloValuations(db, q, samples, r)
-	if err != nil {
-		return nil, err
-	}
-	return res.Estimate, nil
-}
-
-// CompletionsLowerBound samples valuations and reports the number of
-// distinct satisfying completions observed — a lower bound on #Comp(q)(db)
-// with no approximation guarantee (none is possible unless NP = RP;
-// Theorems 5.5/5.7 of the paper).
-func CompletionsLowerBound(db *Database, q Query, samples int, r *rand.Rand) (*big.Int, error) {
-	return approx.CompletionsLowerBound(db, q, samples, r)
-}
-
-// IsCertain reports whether q holds in every completion of db (the
-// classical certainty problem the counting problems refine).
-func IsCertain(db *Database, q Query, opts *CountOptions) (bool, error) {
-	return count.IsCertain(db, q, opts)
-}
-
-// IsPossible reports whether q holds in some completion of db.
-func IsPossible(db *Database, q Query, opts *CountOptions) (bool, error) {
-	return count.IsPossible(db, q, opts)
-}
-
-// Mu computes Libkin's relative frequency µ_k(q, T): the fraction of
-// valuations over the uniform domain {1, …, k} satisfying q, using db's
-// naïve table and ignoring its attached domains (Section 7 of the paper).
-func Mu(db *Database, q Query, k int, opts *CountOptions) (*big.Rat, error) {
-	return count.MuK(db, q, k, opts)
-}
-
 // Canonical forms and fingerprints (package internal/fingerprint): inputs
 // that are identical up to null/variable renaming and fact/atom order
-// share one canonical form, the basis of the counting service's result
-// cache.
+// share one canonical form, the basis of the solver's result cache.
 type (
 	// FingerprintKind tags which counting problem a fingerprint caches
 	// ("val", "comp", "certain", "possible").
@@ -338,7 +229,8 @@ func Fingerprint(db *Database, q Query, kind FingerprintKind) string {
 
 // The counting service (package internal/server): the HTTP/JSON API
 // behind `incdb serve`, embeddable in other processes via NewServer and
-// Server.Handler.
+// Server.Handler. The service is a thin adapter over a Solver: its result
+// cache and single-flight deduplication live in the solver layer.
 type (
 	// Server is the caching, job-supervising counting service.
 	Server = server.Server

@@ -37,6 +37,15 @@ type MonteCarloResult struct {
 // and re-checks the compiled query in place, with no per-sample completion
 // materialization.
 func MonteCarloValuations(db *core.Database, q cq.Query, samples int, r *rand.Rand) (*MonteCarloResult, error) {
+	return MonteCarloValuationsContext(context.Background(), db, q, samples, r)
+}
+
+// MonteCarloValuationsContext is MonteCarloValuations with cancellation:
+// the sampling loop polls ctx every klCancelCheckInterval samples and
+// returns the context's error once it is done. Cancellation polling never
+// touches the RNG, so for a given seed the draws are identical to the
+// uncancellable variant's.
+func MonteCarloValuationsContext(ctx context.Context, db *core.Database, q cq.Query, samples int, r *rand.Rand) (*MonteCarloResult, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
 	}
@@ -51,6 +60,11 @@ func MonteCarloValuations(db *core.Database, q cq.Query, samples int, r *rand.Ra
 	sat := 0
 	cur := eng.NewCursor()
 	for s := 0; s < samples; s++ {
+		if s%klCancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cur.Sample(r)
 		if cur.Matches() {
 			sat++
@@ -137,6 +151,19 @@ func KarpLubyValuationsContext(ctx context.Context, db *core.Database, q cq.Quer
 	return &KarpLubyResult{Estimate: rounded, Samples: n, Cylinders: m, TotalWeight: z}, nil
 }
 
+// LowerBoundResult reports a completion lower bound together with the
+// sampling diagnostics that produced it.
+type LowerBoundResult struct {
+	// Bound is the number of distinct satisfying completions observed —
+	// the lower bound on #Comp(q)(db).
+	Bound *big.Int
+	// Samples is how many valuations were drawn.
+	Samples int
+	// Distinct is how many distinct completions (satisfying or not) the
+	// samples produced; Samples − Distinct draws were duplicates.
+	Distinct int
+}
+
 // CompletionsLowerBound samples valuations and counts the distinct
 // completions seen: a (probabilistic) LOWER bound on #Comp(q)(db). The
 // paper shows no FPRAS for counting completions exists unless NP = RP
@@ -147,6 +174,18 @@ func KarpLubyValuationsContext(ctx context.Context, db *core.Database, q cq.Quer
 // hash; hash buckets compare exact canonical encodings, so a collision
 // cannot inflate the bound.
 func CompletionsLowerBound(db *core.Database, q cq.Query, samples int, r *rand.Rand) (*big.Int, error) {
+	res, err := CompletionsLowerBoundContext(context.Background(), db, q, samples, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.Bound, nil
+}
+
+// CompletionsLowerBoundContext is CompletionsLowerBound with cancellation
+// and full sampling diagnostics. Cancellation polling never touches the
+// RNG, so for a given seed the bound is identical to the uncancellable
+// variant's.
+func CompletionsLowerBoundContext(ctx context.Context, db *core.Database, q cq.Query, samples int, r *rand.Rand) (*LowerBoundResult, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("approx: need a positive sample count, got %d", samples)
 	}
@@ -155,12 +194,18 @@ func CompletionsLowerBound(db *core.Database, q cq.Query, samples int, r *rand.R
 		return nil, err
 	}
 	if eng.Size().Sign() == 0 {
-		return big.NewInt(0), nil
+		return &LowerBoundResult{Bound: big.NewInt(0), Samples: samples}, nil
 	}
 	seen := make(map[sweep.Hash128][]*sweep.Snapshot)
 	cur := eng.NewCursor()
 	count := int64(0)
+	distinct := 0
 	for s := 0; s < samples; s++ {
+		if s%klCancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cur.Sample(r)
 		h := cur.CompletionHash()
 		bucket := seen[h]
@@ -175,9 +220,10 @@ func CompletionsLowerBound(db *core.Database, q cq.Query, samples int, r *rand.R
 			continue
 		}
 		seen[h] = append(bucket, cur.Snapshot())
+		distinct++
 		if cur.Matches() {
 			count++
 		}
 	}
-	return big.NewInt(count), nil
+	return &LowerBoundResult{Bound: big.NewInt(count), Samples: samples, Distinct: distinct}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/classify"
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/cylinder"
 	"github.com/incompletedb/incompletedb/internal/plan"
 )
 
@@ -107,7 +108,17 @@ func execNode(db *core.Database, n *plan.Node, opts *Options) (*big.Int, error) 
 		return CompletionsUniform(db, n.Query.(*cq.BCQ))
 
 	case plan.OpCylinderIE:
-		return n.Cylinders.UnionCountContext(opts.context())
+		set := n.Cylinders
+		if set == nil {
+			// Stripped plans (what long-lived caches retain) drop the
+			// prebuilt payload; rebuild it from the plan's own database.
+			var err error
+			set, err = cylinder.Build(db, n.Query)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return set.UnionCountContext(opts.context())
 
 	case plan.OpSweep:
 		o := opts.withRejected(n.RejectedNotes())

@@ -72,16 +72,11 @@ func sweepUntil(db *core.Database, q cq.Query, opts *Options, want bool) (sat, v
 	return sat, true, nil
 }
 
-// MuK computes Libkin's relative frequency µ_k(q, T) (Section 7 of the
-// paper): the fraction of valuations over the uniform domain {1, …, k}
-// whose completion satisfies q. The domains attached to db are ignored —
-// only its naïve table T is used. For generic monotone queries, µ_k tends
-// to 0 or 1 as k → ∞ (Libkin's 0–1 law); the experiment suite demonstrates
-// both limits.
-//
-// MuK uses the exact counting dispatcher, so tractable queries avoid
-// enumeration entirely.
-func MuK(db *core.Database, q cq.Query, k int, opts *Options) (*big.Rat, error) {
+// MuDatabase builds the µ_k construction shared by MuK and the solver's
+// session Mu: the uniform database over {1, …, k} carrying db's naïve
+// table. db's own domains are ignored (its nulls need not have any — the
+// Section 7 setting).
+func MuDatabase(db *core.Database, k int) (*core.Database, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("count: µ_k needs k ≥ 1, got %d", k)
 	}
@@ -94,6 +89,23 @@ func MuK(db *core.Database, q cq.Query, k int, opts *Options) (*big.Rat, error) 
 		if err := u.AddFact(f.Rel, f.Args...); err != nil {
 			return nil, err
 		}
+	}
+	return u, nil
+}
+
+// MuK computes Libkin's relative frequency µ_k(q, T) (Section 7 of the
+// paper): the fraction of valuations over the uniform domain {1, …, k}
+// whose completion satisfies q. The domains attached to db are ignored —
+// only its naïve table T is used. For generic monotone queries, µ_k tends
+// to 0 or 1 as k → ∞ (Libkin's 0–1 law); the experiment suite demonstrates
+// both limits.
+//
+// MuK uses the exact counting dispatcher, so tractable queries avoid
+// enumeration entirely.
+func MuK(db *core.Database, q cq.Query, k int, opts *Options) (*big.Rat, error) {
+	u, err := MuDatabase(db, k)
+	if err != nil {
+		return nil, err
 	}
 	sat, _, err := CountValuations(u, q, opts)
 	if err != nil {

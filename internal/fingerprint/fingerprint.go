@@ -49,12 +49,20 @@ const (
 // kind): a hex-encoded SHA-256 of their canonical forms, suitable as a
 // cache key.
 func Of(db *core.Database, q cq.Query, kind Kind) string {
+	return OfCanonical(Database(db), Query(q), kind)
+}
+
+// OfCanonical is Of over already-computed canonical forms, so a session
+// that prepared a database once can fingerprint many queries against it
+// without re-canonicalizing the database each time. It produces exactly
+// the fingerprints Of produces.
+func OfCanonical(dbCanonical, queryCanonical string, kind Kind) string {
 	h := sha256.New()
 	h.Write([]byte(kind))
 	h.Write([]byte{0})
-	h.Write([]byte(Database(db)))
+	h.Write([]byte(dbCanonical))
 	h.Write([]byte{0})
-	h.Write([]byte(Query(q)))
+	h.Write([]byte(queryCanonical))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -208,6 +208,34 @@ func (p *Plan) Database() *core.Database { return p.db }
 // pre-planner dispatcher's method strings.
 func (p *Plan) Method() string { return p.Root.Method() }
 
+// StripPayloads returns a copy of the plan without its execution
+// payloads — the compiled sweep engines and prebuilt cylinder sets,
+// which embed the database's interned fact arenas. The copy renders and
+// serializes identically (Render/JSON/Method never read the payloads)
+// and still executes correctly against the plan's own database (the
+// executor recompiles engine-less sweep nodes), so it is what a
+// long-lived cache should retain: the explanation, not the compiled
+// state.
+func (p *Plan) StripPayloads() *Plan {
+	var strip func(n *Node) *Node
+	strip = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		c := *n
+		c.Engine = nil
+		c.Cylinders = nil
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for i, ch := range n.Children {
+				c.Children[i] = strip(ch)
+			}
+		}
+		return &c
+	}
+	return &Plan{Kind: p.Kind, Query: p.Query, Root: strip(p.Root), db: p.db}
+}
+
 // Method renders the node's operator subtree as a compact signature.
 func (n *Node) Method() string {
 	switch n.Op {

@@ -85,6 +85,11 @@ type Response struct {
 	// text. Count, estimate and explain responses carry it.
 	Plan *plan.PlanJSON `json:"plan,omitempty"`
 
+	// Estimate carries the sampling diagnostics of an estimate response
+	// (previously discarded): the guarantee parameters, samples drawn,
+	// cylinder count and total cylinder weight.
+	Estimate *EstimateDetail `json:"estimate,omitempty"`
+
 	// Classification is the Table 1 outcome of classify.
 	Classification []ClassifyResult `json:"classification,omitempty"`
 
@@ -119,7 +124,31 @@ func (r *Response) clone() *Response {
 		h := *r.Holds
 		c.Holds = &h
 	}
+	if r.Estimate != nil {
+		e := *r.Estimate
+		c.Estimate = &e
+	}
 	return &c
+}
+
+// EstimateDetail is the sampling-diagnostics block of an estimate
+// response: everything the Karp–Luby estimator knows beyond the point
+// estimate.
+type EstimateDetail struct {
+	// Eps and Delta are the guarantee parameters the estimator ran with:
+	// Pr(|estimate − #Val| ≤ ε·#Val) ≥ 1 − δ.
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta"`
+	// Seed is the RNG seed the estimate was drawn with (estimates are
+	// deterministic given the seed).
+	Seed int64 `json:"seed"`
+	// Samples is the number of importance samples drawn.
+	Samples int `json:"samples"`
+	// Cylinders is the number of match cylinders of the union.
+	Cylinders int `json:"cylinders"`
+	// TotalWeight is Σ_j |C_j|, the importance-sampling normalizer, as a
+	// decimal string.
+	TotalWeight string `json:"total_weight"`
 }
 
 // ClassifyResult is one row of a classification: the complexity of one of

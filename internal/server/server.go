@@ -16,12 +16,15 @@
 // which for #Val with syntactic queries excludes nulls the query cannot
 // observe.
 //
-// Results of count/certain/possible requests are cached in an LRU keyed
-// by the canonical fingerprint of (database, query, kind) — see
-// internal/fingerprint — so syntactically different but isomorphic inputs
-// (renamed nulls, reordered facts, renamed query variables) share one
-// entry, and concurrent identical requests share one computation via
-// single-flight deduplication.
+// The server is a thin HTTP adapter over a Solver session
+// (internal/solver): the fingerprint-keyed LRU result cache and the
+// single-flight deduplication that used to live here moved into the
+// solver, so syntactically different but isomorphic inputs (renamed
+// nulls, reordered facts, renamed query variables) share one entry — and
+// the same amortization is available to library users without the HTTP
+// layer. Each request is answered by preparing the submitted database
+// through the shared solver and executing the session call that matches
+// the endpoint.
 //
 // Endpoints:
 //
@@ -46,27 +49,26 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/big"
 	"math/rand"
 	"net"
 	"net/http"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"github.com/incompletedb/incompletedb/internal/approx"
 	"github.com/incompletedb/incompletedb/internal/classify"
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/fingerprint"
-	"github.com/incompletedb/incompletedb/internal/plan"
+	"github.com/incompletedb/incompletedb/internal/solver"
 )
 
 // Defaults for Config fields left zero.
 const (
-	DefaultCacheSize = 1024
+	// DefaultCacheSize mirrors the solver's: the cache now lives there,
+	// the server only forwards its sizing.
+	DefaultCacheSize = solver.DefaultCacheSize
 	DefaultMaxJobs   = 1024
 	// maxRequestBody bounds request bodies (databases are text; 8 MiB is
 	// far beyond any instance the brute-force guard would accept).
@@ -131,9 +133,11 @@ func (c Config) maxJobs() int {
 // Server is the counting service. Create one with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg    Config
-	cache  *resultCache
-	flight *flightGroup
+	cfg Config
+	// solver owns the result cache and single-flight deduplication the
+	// service used to implement itself; every request is answered through
+	// a session prepared on it.
+	solver *solver.Solver
 	jobs   *jobManager
 	mux    *http.ServeMux
 
@@ -141,18 +145,20 @@ type Server struct {
 	// and jobs); Close cancels it.
 	root      context.Context
 	closeRoot context.CancelFunc
-
-	hits, misses, computations, shared atomic.Int64
 }
 
 // New returns a Server ready to serve. Call Close when done to stop any
 // jobs still running.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.cacheSize()),
-		flight: newFlightGroup(),
-		jobs:   newJobManager(cfg.maxJobs()),
+		cfg: cfg,
+		solver: solver.NewSolverConfig(solver.Config{
+			Workers:       cfg.Workers,
+			MaxValuations: cfg.MaxValuations,
+			MaxCylinders:  cfg.MaxCylinders,
+			CacheSize:     cfg.cacheSize(),
+		}),
+		jobs: newJobManager(cfg.maxJobs()),
 	}
 	s.root, s.closeRoot = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -206,14 +212,20 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.Serve(ctx, ln)
 }
 
-// Stats returns a snapshot of the service counters.
+// Solver returns the solver session layer the service answers through;
+// embedding processes can share it with their own prepared databases.
+func (s *Server) Solver() *solver.Solver { return s.solver }
+
+// Stats returns a snapshot of the service counters (the cache and
+// deduplication counters come from the underlying solver).
 func (s *Server) Stats() Stats {
+	m := s.solver.Metrics()
 	return Stats{
-		CacheEntries: s.cache.len(),
-		CacheHits:    s.hits.Load(),
-		CacheMisses:  s.misses.Load(),
-		Computations: s.computations.Load(),
-		FlightShared: s.shared.Load(),
+		CacheEntries: m.CacheEntries,
+		CacheHits:    m.CacheHits,
+		CacheMisses:  m.CacheMisses,
+		Computations: m.Computations,
+		FlightShared: m.FlightShared,
 		Jobs:         s.jobs.statusCounts(),
 	}
 }
@@ -323,29 +335,23 @@ func parseInput(req Request) (*core.Database, cq.Query, error) {
 	return db, q, nil
 }
 
-// countOptions builds the counting options for one request: the server's
-// budget capped further by the request's, the configured worker pool, and
-// the given context.
-func (s *Server) countOptions(ctx context.Context, req Request, progress func(done, total int)) *count.Options {
-	budget := s.cfg.maxValuations()
-	if req.MaxValuations > 0 && req.MaxValuations < budget {
-		budget = req.MaxValuations
+// requestOptions builds the per-call option overrides for one request:
+// only the knobs the request actually tightens are set — everything left
+// zero inherits the solver's (= the server's) configuration, which keeps
+// default-budget requests on the solver's cached path. Budgets only ever
+// tighten: a request may lower the valuation budget or the cylinder cap
+// (or disable the route), never raise them above the server's (the 2^m
+// subset loop runs on the server's root context and would outlive a
+// disconnecting client).
+func (s *Server) requestOptions(req Request, progress func(done, total int)) *count.Options {
+	o := &count.Options{Progress: progress}
+	if budget := s.cfg.maxValuations(); req.MaxValuations > 0 && req.MaxValuations < budget {
+		o.MaxValuations = req.MaxValuations
 	}
-	// Like the valuation budget, the cylinder cap only ever tightens: a
-	// request may lower it or disable the route, never raise it above
-	// the server's cap (the 2^m subset loop runs on the server's root
-	// context and would outlive a disconnecting client).
-	maxCyl := s.cfg.maxCylinders()
-	if req.MaxCylinders < 0 || (req.MaxCylinders > 0 && req.MaxCylinders < maxCyl) {
-		maxCyl = req.MaxCylinders
+	if maxCyl := s.cfg.maxCylinders(); req.MaxCylinders < 0 || (req.MaxCylinders > 0 && req.MaxCylinders < maxCyl) {
+		o.MaxCylinders = req.MaxCylinders
 	}
-	return &count.Options{
-		MaxValuations: budget,
-		MaxCylinders:  maxCyl,
-		Workers:       s.cfg.Workers,
-		Context:       ctx,
-		Progress:      progress,
-	}
+	return o
 }
 
 // fingerprintKind maps a (op, kind) pair to its cache-key kind.
@@ -368,10 +374,13 @@ func fingerprintKind(req Request) (fingerprint.Kind, string, error) {
 	return "", "", badRequest("op %q is not cacheable", req.Op)
 }
 
-// execCached answers count/certain/possible requests through the
-// fingerprint-keyed LRU with single-flight deduplication. Computations
-// run under the server's root context (not the request's): a shared
-// result must not die with whichever of its waiters disconnects first.
+// execCached answers count/certain/possible requests through a solver
+// session: a warm cache entry answers immediately regardless of the
+// request's budget overrides (the cache is keyed by fingerprint only,
+// exactly like the pre-solver service); everything else computes through
+// the solver's single-flight group. Computations run under the server's
+// root context (not the request's): a shared result must not die with
+// whichever of its waiters disconnects first.
 func (s *Server) execCached(req Request) (*Response, error) {
 	db, q, err := parseInput(req)
 	if err != nil {
@@ -381,31 +390,29 @@ func (s *Server) execCached(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	fp := fingerprint.Of(db, q, fpKind)
-	if cached, ok := s.cache.get(fp); ok {
-		s.hits.Add(1)
-		resp := cached.clone()
-		resp.Cached = true
-		return resp, nil
-	}
-	s.misses.Add(1)
-	resp, sharedFlight, err := s.flight.do(fp, func() (*Response, error) {
-		s.computations.Add(1)
-		r, err := s.compute(req, db, q, kind)
-		if err != nil {
-			return nil, err
-		}
-		r.Fingerprint = fp
-		s.cache.add(fp, r)
-		return r, nil
-	})
+	pdb, err := s.solver.Prepare(db)
 	if err != nil {
 		return nil, err
 	}
-	if sharedFlight {
-		s.shared.Add(1)
+	if res, ok := pdb.Cached(q, fpKind); ok {
+		return s.resultResponse(req.Op, q, kind, res), nil
 	}
-	return resp.clone(), nil
+	opts := s.requestOptions(req, nil)
+	var res *solver.Result
+	switch req.Op {
+	case OpCount:
+		res, err = pdb.CountWith(s.root, q, countingKind(kind), opts)
+	case OpCertain:
+		res, err = pdb.CertainWith(s.root, q, opts)
+	case OpPossible:
+		res, err = pdb.PossibleWith(s.root, q, opts)
+	default:
+		return nil, badRequest("unknown op %q", req.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.resultResponse(req.Op, q, kind, res), nil
 }
 
 // countingKind maps the wire kind to the classifier's.
@@ -416,36 +423,27 @@ func countingKind(kind string) classify.CountingKind {
 	return classify.Valuations
 }
 
-// compute evaluates one count/certain/possible request.
-func (s *Server) compute(req Request, db *core.Database, q cq.Query, kind string) (*Response, error) {
-	opts := s.countOptions(s.root, req, nil)
-	switch req.Op {
-	case OpCount:
-		// Plan first, execute after: the response carries the same plan
-		// /v1/explain would render for this fingerprint.
-		p, err := count.Explain(db, q, countingKind(kind), opts)
-		if err != nil {
-			return nil, err
-		}
-		n, err := count.ExecutePlan(db, p, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: p.Method(), Plan: p.JSON()}, nil
-	case OpCertain:
-		holds, err := count.IsCertain(db, q, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &Response{Op: OpCertain, Query: q.String(), Holds: &holds}, nil
-	case OpPossible:
-		holds, err := count.IsPossible(db, q, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &Response{Op: OpPossible, Query: q.String(), Holds: &holds}, nil
+// resultResponse maps a solver Result onto the wire shape of the
+// operation that produced it.
+func (s *Server) resultResponse(op string, q cq.Query, kind string, res *solver.Result) *Response {
+	resp := &Response{
+		Op:          op,
+		Query:       q.String(),
+		Fingerprint: res.Fingerprint,
+		Cached:      res.Stats.CacheHit,
 	}
-	return nil, badRequest("unknown op %q", req.Op)
+	switch op {
+	case OpCount:
+		resp.Kind = kind
+		resp.Count = res.Count.String()
+		resp.Method = string(res.Method)
+		if res.Plan != nil {
+			resp.Plan = res.Plan.JSON()
+		}
+	case OpCertain, OpPossible:
+		resp.Holds = res.Holds
+	}
+	return resp
 }
 
 // execExplain compiles and renders the plan of a count request without
@@ -461,7 +459,11 @@ func (s *Server) execExplain(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := count.Explain(db, q, countingKind(kind), s.countOptions(s.root, req, nil))
+	pdb, err := s.solver.Prepare(db)
+	if err != nil {
+		return nil, badRequest("explain: %v", err)
+	}
+	p, err := pdb.ExplainWith(q, countingKind(kind), s.requestOptions(req, nil))
 	if err != nil {
 		return nil, badRequest("explain: %v", err)
 	}
@@ -471,12 +473,13 @@ func (s *Server) execExplain(req Request) (*Response, error) {
 		Kind:        kind,
 		Method:      p.Method(),
 		Plan:        p.JSON(),
-		Fingerprint: fingerprint.Of(db, q, fpKind),
+		Fingerprint: pdb.Fingerprint(q, fpKind),
 	}, nil
 }
 
 // execEstimate runs the Karp–Luby FPRAS. Estimates are randomized, so
-// they bypass the cache and the single-flight group.
+// they bypass the cache and the single-flight group; the sampling
+// diagnostics the estimator produces ride along in the estimate block.
 func (s *Server) execEstimate(req Request) (*Response, error) {
 	db, q, err := parseInput(req)
 	if err != nil {
@@ -493,7 +496,11 @@ func (s *Server) execEstimate(req Request) (*Response, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	res, err := approx.KarpLubyValuationsContext(s.root, db, q, eps, delta, rand.New(rand.NewSource(seed)))
+	pdb, err := s.solver.Prepare(db)
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
+	}
+	res, err := pdb.Estimate(s.root, q, eps, delta, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
 	}
@@ -503,14 +510,17 @@ func (s *Server) execEstimate(req Request) (*Response, error) {
 		Kind:   KindVal,
 		Count:  res.Estimate.String(),
 		Method: fmt.Sprintf("approx/karp-luby(eps=%g, delta=%g, samples=%d)", eps, delta, res.Samples),
+		Estimate: &EstimateDetail{
+			Eps:         eps,
+			Delta:       delta,
+			Seed:        seed,
+			Samples:     res.Samples,
+			Cylinders:   res.Cylinders,
+			TotalWeight: res.TotalWeight.String(),
+		},
 	}
-	// The sampling plan (cylinder count, classification) rides along like
-	// on exact counts; a failure to plan never fails the estimate. This
-	// rebuilds the cylinder set the estimator already built internally —
-	// accepted, because the polynomial build is dwarfed by the sampling
-	// loop the endpoint exists for.
-	if p, perr := plan.BuildEstimate(db, q); perr == nil {
-		resp.Plan = p.JSON()
+	if res.Plan != nil {
+		resp.Plan = res.Plan.JSON()
 	}
 	return resp, nil
 }
@@ -528,7 +538,11 @@ func (s *Server) StartJob(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	fpKind, _, err := fingerprintKind(req)
+	fpKind, kind, err := fingerprintKind(req)
+	if err != nil {
+		return nil, err
+	}
+	pdb, err := s.solver.Prepare(db)
 	if err != nil {
 		return nil, err
 	}
@@ -536,55 +550,41 @@ func (s *Server) StartJob(req Request) (*Job, error) {
 	// A non-forced job whose result is already cached finishes instantly;
 	// ForceBrute jobs always sweep — they exist to (re)do the work.
 	if !req.ForceBrute {
-		if cached, ok := s.cache.get(fingerprint.Of(db, q, fpKind)); ok {
-			s.hits.Add(1)
-			resp := cached.clone()
-			resp.Cached = true
-			st.finish(JobDone, resp, "")
+		if res, ok := pdb.Cached(q, fpKind); ok {
+			st.finish(JobDone, s.resultResponse(OpCount, q, kind, res), "")
 			st.cancel()
 			close(st.done)
 			return st.snapshot(), nil
 		}
-		s.misses.Add(1)
 	}
-	go s.runJob(st, ctx, req, db, q)
+	go s.runJob(st, ctx, req, pdb, q)
 	return st.snapshot(), nil
 }
 
-// runJob executes one job on the worker pool: the sharded brute-force
-// sweep when ForceBrute is set, the dispatcher otherwise. Shard
-// completions stream into the job's progress; cancellation (DELETE, or
-// server shutdown) stops the sweep via the context.
-func (s *Server) runJob(st *jobState, ctx context.Context, req Request, db *core.Database, q cq.Query) {
+// runJob executes one job on the worker pool: the session's forced
+// brute-force sweep when ForceBrute is set (that is the point of
+// ForceBrute), the normal solver path otherwise. Shard completions
+// stream into the job's progress; cancellation (DELETE, or server
+// shutdown) stops the sweep via the context. Either way the solver
+// stores the finished count in its cache, so later synchronous requests
+// over the same fingerprint are hits.
+func (s *Server) runJob(st *jobState, ctx context.Context, req Request, pdb *solver.PreparedDB, q cq.Query) {
 	defer close(st.done)
-	opts := s.countOptions(ctx, req, st.setProgress)
+	opts := s.requestOptions(req, st.setProgress)
 	kind := req.Kind
 	if kind == "" {
 		kind = KindVal
 	}
-	// Compile the job's plan up front: a forced job plans the bare sweep
-	// (that is the point of ForceBrute), everything else plans normally.
-	var p *plan.Plan
+	var res *solver.Result
 	var err error
 	if req.ForceBrute {
-		p, err = plan.BruteOnly(db, q, countingKind(kind), &plan.Options{MaxValuations: opts.MaxValuations, MaxCylinders: opts.MaxCylinders})
+		res, err = pdb.BruteCount(ctx, q, countingKind(kind), opts)
 	} else {
-		p, err = count.Explain(db, q, countingKind(kind), opts)
-	}
-	var n *big.Int
-	if err == nil {
-		n, err = count.ExecutePlan(db, p, opts)
+		res, err = pdb.CountWith(ctx, q, countingKind(kind), opts)
 	}
 	switch {
 	case err == nil:
-		resp := &Response{Op: OpCount, Query: q.String(), Kind: kind, Count: n.String(), Method: p.Method(), Plan: p.JSON()}
-		if fpKind, _, kerr := fingerprintKind(Request{Op: OpCount, Kind: kind}); kerr == nil {
-			fp := fingerprint.Of(db, q, fpKind)
-			resp.Fingerprint = fp
-			s.computations.Add(1)
-			s.cache.add(fp, resp)
-		}
-		st.finish(JobDone, resp.clone(), "")
+		st.finish(JobDone, s.resultResponse(OpCount, q, kind, res), "")
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		st.finish(JobCancelled, nil, context.Canceled.Error())
 	default:

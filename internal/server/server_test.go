@@ -488,68 +488,10 @@ func TestJobListing(t *testing.T) {
 	}
 }
 
-// TestLRUEviction exercises the cache bound directly.
-func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2)
-	c.add("a", &Response{Count: "1"})
-	c.add("b", &Response{Count: "2"})
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a evicted too early")
-	}
-	c.add("c", &Response{Count: "3"}) // "b" is now LRU and must go
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b survived past capacity")
-	}
-	for _, k := range []string{"a", "c"} {
-		if _, ok := c.get(k); !ok {
-			t.Fatalf("%s missing", k)
-		}
-	}
-	if c.len() != 2 {
-		t.Fatalf("len = %d", c.len())
-	}
-}
-
-// TestFlightGroupShares exercises the single-flight group directly: N
-// concurrent callers of one key run fn exactly once.
-func TestFlightGroupShares(t *testing.T) {
-	g := newFlightGroup()
-	var calls int32
-	var mu sync.Mutex
-	gate := make(chan struct{})
-	var wg sync.WaitGroup
-	shared := 0
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp, wasShared, err := g.do("k", func() (*Response, error) {
-				<-gate
-				mu.Lock()
-				calls++
-				mu.Unlock()
-				return &Response{Count: "42"}, nil
-			})
-			if err != nil || resp.Count != "42" {
-				t.Errorf("do: %v %+v", err, resp)
-			}
-			if wasShared {
-				mu.Lock()
-				shared++
-				mu.Unlock()
-			}
-		}()
-	}
-	time.Sleep(20 * time.Millisecond) // let all callers enqueue
-	close(gate)
-	wg.Wait()
-	if calls != 1 {
-		t.Fatalf("fn ran %d times, want 1", calls)
-	}
-	if shared != 7 {
-		t.Fatalf("shared = %d, want 7", shared)
-	}
-}
+// The LRU-eviction and single-flight unit tests moved with their code
+// into internal/solver; what remains here is the service-level behaviour
+// exercised above (isomorphic sharing, cache hits across jobs and sync
+// requests).
 
 func BenchmarkServerCachedCount(b *testing.B) {
 	srv := New(Config{Workers: 4})

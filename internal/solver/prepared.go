@@ -1,0 +1,484 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"github.com/incompletedb/incompletedb/internal/approx"
+	"github.com/incompletedb/incompletedb/internal/classify"
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/fingerprint"
+	"github.com/incompletedb/incompletedb/internal/plan"
+)
+
+// methodEarlyExit is the method the decision problems report: an
+// early-exit sweep on the compiled engine, outside the planner.
+const methodEarlyExit = count.Method("sweep/early-exit")
+
+// planCacheKey renders the cache key of one compiled plan: the counting
+// kind and the canonical (variable-renaming-invariant) form of the
+// query. Plans are compiled under the solver's planning knobs, so the
+// key needs nothing else.
+func planCacheKey(canonQ string, kind classify.CountingKind) string {
+	if kind == classify.Completions {
+		return "comp\x00" + canonQ
+	}
+	return "val\x00" + canonQ
+}
+
+// PreparedDB is a counting session over one incomplete database: the
+// database's canonical form (the expensive half of every fingerprint),
+// its valuation-space geometry, and a per-(canonical query, kind) plan
+// cache — each compiled plan embeds its sweep engine, so the interner and
+// fact-arena compilation of internal/sweep also happen once per distinct
+// query instead of once per call. The plan cache is a bounded LRU
+// (engines are heavy); a session with endless distinct ad-hoc queries
+// recompiles cold plans instead of growing without limit.
+//
+// A PreparedDB is safe for concurrent use. The database must not be
+// mutated after Prepare: plans and canonical forms embed its facts.
+type PreparedDB struct {
+	s       *Solver
+	db      *core.Database
+	canonDB string
+	total   *big.Int
+	plans   *planCache
+}
+
+// Prepare builds a counting session for db: it validates the database,
+// computes its canonical form (shared by every fingerprint of the
+// session) and its valuation-space size once, and returns a PreparedDB
+// whose plan cache amortizes plan construction and sweep-engine
+// compilation across calls. The database must not be mutated afterwards.
+func (s *Solver) Prepare(db *core.Database) (*PreparedDB, error) {
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	total, err := db.NumValuations()
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedDB{
+		s:       s,
+		db:      db,
+		canonDB: fingerprint.Database(db),
+		total:   total,
+		plans:   newPlanCache(),
+	}, nil
+}
+
+// Database returns the prepared database.
+func (p *PreparedDB) Database() *core.Database { return p.db }
+
+// Solver returns the solver the session was prepared through.
+func (p *PreparedDB) Solver() *Solver { return p.s }
+
+// CanonicalForm returns the canonical (null-renaming-invariant) form of
+// the prepared database, computed once at Prepare time.
+func (p *PreparedDB) CanonicalForm() string { return p.canonDB }
+
+// TotalValuations returns the number of valuations of the database (the
+// product of its nulls' domain sizes), computed once at Prepare time.
+func (p *PreparedDB) TotalValuations() *big.Int { return new(big.Int).Set(p.total) }
+
+// Fingerprint returns the cache key of (database, query, kind) without
+// re-canonicalizing the database: identical to the package-level
+// fingerprint of the same triple.
+func (p *PreparedDB) Fingerprint(q cq.Query, kind fingerprint.Kind) string {
+	return fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kind)
+}
+
+// kindFingerprint maps a counting kind onto its fingerprint kind.
+func kindFingerprint(kind classify.CountingKind) fingerprint.Kind {
+	if kind == classify.Completions {
+		return fingerprint.KindComp
+	}
+	return fingerprint.KindVal
+}
+
+// Explain returns the compiled plan for (q, kind) under the solver's
+// configuration, building and caching it on first use. The plan is shared
+// and read-only; isomorphic queries (renamed variables, reordered atoms)
+// share one entry.
+func (p *PreparedDB) Explain(q cq.Query, kind classify.CountingKind) (*plan.Plan, error) {
+	return p.planFor(fingerprint.Query(q), q, kind)
+}
+
+// ExplainWith is Explain under per-call planning options: when opts
+// leaves the planning knobs at the solver's values the cached plan is
+// returned, otherwise a fresh plan is built (and not cached) so the
+// overrides are honored.
+func (p *PreparedDB) ExplainWith(q cq.Query, kind classify.CountingKind, opts *count.Options) (*plan.Plan, error) {
+	if p.planCacheable(opts) {
+		return p.Explain(q, kind)
+	}
+	return count.Explain(p.db, q, kind, p.s.countOptions(context.Background(), opts))
+}
+
+// planCacheable reports whether per-call options leave the planning knobs
+// at the solver's values; the plan cache (unlike the result cache) is
+// per-session and always on, so only the knobs matter.
+func (p *PreparedDB) planCacheable(opts *count.Options) bool {
+	return p.s.knobsDefault(opts)
+}
+
+// planFor returns the cached plan for (canonical query, kind), building
+// it under the solver's configuration on first use. Builds run outside
+// the cache lock: plan construction can compile sweep engines over the
+// whole database, and concurrent first uses of distinct queries should
+// not serialize. A racing duplicate build of the same query is harmless
+// — last writer wins, both plans are equivalent.
+func (p *PreparedDB) planFor(canonQ string, q cq.Query, kind classify.CountingKind) (*plan.Plan, error) {
+	key := planCacheKey(canonQ, kind)
+	if pl, ok := p.plans.get(key); ok {
+		return pl, nil
+	}
+	pl, err := count.Explain(p.db, q, kind, &count.Options{
+		MaxValuations: p.s.cfg.MaxValuations,
+		MaxCylinders:  p.s.cfg.MaxCylinders,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.plans.add(key, pl)
+	return pl, nil
+}
+
+// Count computes #Val(q) (kind Valuations) or #Comp(q) (kind Completions)
+// over the prepared database: through the result cache and single-flight
+// group when an isomorphic result is already known, by executing the
+// session's cached plan otherwise. ctx cancels long sweeps.
+func (p *PreparedDB) Count(ctx context.Context, q cq.Query, kind classify.CountingKind) (*Result, error) {
+	return p.CountWith(ctx, q, kind, nil)
+}
+
+// CountWith is Count with per-call runtime options (the escape hatch the
+// deprecated free functions and the job runner use): zero fields of opts
+// inherit the solver's configuration. Calls that override the
+// planning-relevant knobs (MaxValuations, MaxCylinders) bypass the result
+// cache entirely — neither read (a tightened guard is honored rather
+// than answered from an earlier, looser computation) nor written (a
+// loosened guard's success must not make later default-knob calls stop
+// failing their guard) — so the free-function semantics are preserved
+// call for call.
+func (p *PreparedDB) CountWith(ctx context.Context, q cq.Query, kind classify.CountingKind, opts *count.Options) (*Result, error) {
+	start := time.Now()
+	eff := p.s.countOptions(ctx, opts)
+	canonQ := fingerprint.Query(q)
+	fp := fingerprint.OfCanonical(p.canonDB, canonQ, kindFingerprint(kind))
+	compute := func() (*Result, error) {
+		pl, err := p.planForOpts(canonQ, q, kind, opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.executeCount(pl, eff, fp, start)
+	}
+	return p.cachedCall(fp, p.s.cacheable(opts), eff, start, compute)
+}
+
+// planForOpts picks the session's cached plan when the per-call options
+// allow it and builds a fresh one otherwise.
+func (p *PreparedDB) planForOpts(canonQ string, q cq.Query, kind classify.CountingKind, opts *count.Options) (*plan.Plan, error) {
+	if p.planCacheable(opts) {
+		return p.planFor(canonQ, q, kind)
+	}
+	return count.Explain(p.db, q, kind, p.s.countOptions(context.Background(), opts))
+}
+
+// executeCount runs a compiled plan and wraps the count in a Result.
+func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, start time.Time) (*Result, error) {
+	n, err := count.ExecutePlan(p.db, pl, eff)
+	if err != nil {
+		return nil, err
+	}
+	swept, pruned, multiplier := statsFromPlan(pl)
+	return &Result{
+		Count:       n,
+		Method:      count.Method(pl.Method()),
+		Plan:        pl,
+		Fingerprint: fp,
+		Stats: Stats{
+			SweptValuations: swept,
+			PrunedNulls:     pruned,
+			PruneMultiplier: multiplier,
+			Workers:         effectiveWorkers(eff.Workers),
+			Wall:            time.Since(start),
+		},
+	}, nil
+}
+
+// cachedCall is the shared cache/single-flight harness of the counting
+// and decision calls: read the cache (when the call is cacheable), share
+// in-flight identical work, store successful results.
+func (p *PreparedDB) cachedCall(fp string, cacheable bool, eff *count.Options, start time.Time, compute func() (*Result, error)) (*Result, error) {
+	if cacheable {
+		if res, ok := p.s.cache.get(fp); ok {
+			p.s.hits.Add(1)
+			return p.annotateHit(res, eff, start), nil
+		}
+		p.s.misses.Add(1)
+		res, sharedFlight, err := p.s.flight.do(fp, func() (*Result, error) {
+			p.s.computations.Add(1)
+			r, err := compute()
+			if err != nil {
+				return nil, err
+			}
+			p.s.cache.add(fp, r.stripped())
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if sharedFlight {
+			p.s.shared.Add(1)
+		}
+		return res.clone(), nil
+	}
+	p.s.computations.Add(1)
+	res, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	// Do NOT store: this branch runs under overridden planning knobs, and
+	// a result computed under (say) a loosened guard must never leak into
+	// the cache where a later default-knob call would find it — the
+	// default path must keep failing its guard exactly as if this call
+	// had never happened.
+	return res.clone(), nil
+}
+
+// annotateHit returns a copy of a cached result annotated for this call:
+// the cache flag, this call's worker width and its (near zero) wall time.
+func (p *PreparedDB) annotateHit(res *Result, eff *count.Options, start time.Time) *Result {
+	c := res.clone()
+	c.Stats.CacheHit = true
+	c.Stats.Workers = effectiveWorkers(eff.Workers)
+	c.Stats.Wall = time.Since(start)
+	return c
+}
+
+// Cached peeks at the result cache for (q, kind) without computing
+// anything; the boolean reports whether a result was found. A found
+// result counts as a cache hit; an absent one does not count as a miss
+// (the compute call that typically follows will). The HTTP service uses
+// this to answer jobs and budget-overridden requests from warm cache
+// entries, like the pre-solver service did.
+func (p *PreparedDB) Cached(q cq.Query, kind fingerprint.Kind) (*Result, bool) {
+	res, ok := p.s.cache.get(p.Fingerprint(q, kind))
+	if !ok {
+		return nil, false
+	}
+	p.s.hits.Add(1)
+	c := res.clone()
+	c.Stats.CacheHit = true
+	return c, true
+}
+
+// BruteCount bypasses every fast path and counts by the sharded
+// brute-force sweep (with completion dedup for kind Completions) — the
+// workload of a forced job. The result cache is not consulted, but the
+// computed count is stored: forced sweeps exist to (re)do the work, and
+// their answers are as valid as any.
+func (p *PreparedDB) BruteCount(ctx context.Context, q cq.Query, kind classify.CountingKind, opts *count.Options) (*Result, error) {
+	start := time.Now()
+	eff := p.s.countOptions(ctx, opts)
+	fp := p.Fingerprint(q, kindFingerprint(kind))
+	pl, err := plan.BruteOnly(p.db, q, kind, &plan.Options{
+		MaxValuations: eff.MaxValuations,
+		MaxCylinders:  eff.MaxCylinders,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.executeCount(pl, eff, fp, start)
+	if err != nil {
+		return nil, err
+	}
+	p.s.computations.Add(1)
+	p.s.cache.add(fp, res.stripped())
+	return res.clone(), nil
+}
+
+// Certain reports whether q holds in every completion of the prepared
+// database, as a Result whose Holds field carries the verdict. Verdicts
+// are cached by fingerprint like counts.
+func (p *PreparedDB) Certain(ctx context.Context, q cq.Query) (*Result, error) {
+	return p.CertainWith(ctx, q, nil)
+}
+
+// CertainWith is Certain with per-call runtime options (see CountWith).
+func (p *PreparedDB) CertainWith(ctx context.Context, q cq.Query, opts *count.Options) (*Result, error) {
+	return p.decide(ctx, q, opts, fingerprint.KindCertain, count.IsCertain)
+}
+
+// Possible reports whether q holds in some completion of the prepared
+// database, as a Result whose Holds field carries the verdict.
+func (p *PreparedDB) Possible(ctx context.Context, q cq.Query) (*Result, error) {
+	return p.PossibleWith(ctx, q, nil)
+}
+
+// PossibleWith is Possible with per-call runtime options (see CountWith).
+func (p *PreparedDB) PossibleWith(ctx context.Context, q cq.Query, opts *count.Options) (*Result, error) {
+	return p.decide(ctx, q, opts, fingerprint.KindPossible, count.IsPossible)
+}
+
+// decide is the shared implementation of the cached decision problems.
+func (p *PreparedDB) decide(ctx context.Context, q cq.Query, opts *count.Options, kind fingerprint.Kind, run func(*core.Database, cq.Query, *count.Options) (bool, error)) (*Result, error) {
+	start := time.Now()
+	eff := p.s.countOptions(ctx, opts)
+	fp := fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kind)
+	compute := func() (*Result, error) {
+		holds, err := run(p.db, q, eff)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Holds:       &holds,
+			Method:      methodEarlyExit,
+			Fingerprint: fp,
+			Stats: Stats{
+				Workers: effectiveWorkers(eff.Workers),
+				Wall:    time.Since(start),
+			},
+		}, nil
+	}
+	return p.cachedCall(fp, p.s.cacheable(opts), eff, start, compute)
+}
+
+// AllCompletions counts the distinct completions of the prepared
+// database: #Comp(TRUE), routed through the planner like every other
+// count, so the Result carries a method, a plan and sweep stats.
+func (p *PreparedDB) AllCompletions(ctx context.Context) (*Result, error) {
+	return p.Count(ctx, cq.Tautology{}, classify.Completions)
+}
+
+// AllCompletionsWith is AllCompletions with per-call runtime options.
+func (p *PreparedDB) AllCompletionsWith(ctx context.Context, opts *count.Options) (*Result, error) {
+	return p.CountWith(ctx, cq.Tautology{}, classify.Completions, opts)
+}
+
+// Mu computes Libkin's relative frequency µ_k(q, T) (Section 7 of the
+// paper): the fraction of valuations over the uniform domain {1, …, k}
+// whose completion satisfies q, using the prepared database's naïve table
+// and ignoring its attached domains. The derived uniform database is
+// prepared through the same solver, so the underlying #Val count shares
+// the session's result cache across repeated k.
+func (p *PreparedDB) Mu(ctx context.Context, q cq.Query, k int) (*MuResult, error) {
+	return p.MuWith(ctx, q, k, nil)
+}
+
+// MuWith is Mu with per-call runtime options (see CountWith).
+func (p *PreparedDB) MuWith(ctx context.Context, q cq.Query, k int, opts *count.Options) (*MuResult, error) {
+	return p.s.Mu(ctx, p.db, q, k, opts)
+}
+
+// Mu computes Libkin's relative frequency µ_k(q, T) for db's naïve table
+// T, ignoring any domains attached to db (so it also accepts tables whose
+// nulls have no domains — the Section 7 setting). The derived uniform
+// database over {1, …, k} is prepared through this solver, so repeated
+// calls share the result cache.
+func (s *Solver) Mu(ctx context.Context, db *core.Database, q cq.Query, k int, opts *count.Options) (*MuResult, error) {
+	u, err := count.MuDatabase(db, k)
+	if err != nil {
+		return nil, err
+	}
+	up, err := s.Prepare(u)
+	if err != nil {
+		return nil, err
+	}
+	res, err := up.CountWith(ctx, q, classify.Valuations, opts)
+	if err != nil {
+		return nil, err
+	}
+	total := up.TotalValuations()
+	if total.Sign() == 0 {
+		return nil, fmt.Errorf("count: µ_k undefined for a database without valuations")
+	}
+	return &MuResult{
+		Ratio: new(big.Rat).SetFrac(res.Count, total),
+		K:     k,
+		Count: res,
+	}, nil
+}
+
+// Estimate runs the Karp–Luby FPRAS for #Val(q) with multiplicative
+// error eps and failure probability delta; q must be a (union of)
+// BCQ(s). Estimates are randomized, so they bypass the result cache; the
+// full sampling diagnostics (samples, cylinders, total weight) ride along
+// instead of being discarded.
+func (p *PreparedDB) Estimate(ctx context.Context, q cq.Query, eps, delta float64, r *rand.Rand) (*EstimateResult, error) {
+	start := time.Now()
+	kl, err := approx.KarpLubyValuationsContext(ctx, p.db, q, eps, delta, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &EstimateResult{
+		Estimate:    kl.Estimate,
+		Eps:         eps,
+		Delta:       delta,
+		Samples:     kl.Samples,
+		Cylinders:   kl.Cylinders,
+		TotalWeight: kl.TotalWeight,
+		Wall:        time.Since(start),
+	}
+	// The sampling plan (cylinder count, classification) rides along like
+	// on exact counts; a failure to plan never fails the estimate.
+	if pl, perr := plan.BuildEstimate(p.db, q); perr == nil {
+		res.Plan = pl
+	}
+	return res, nil
+}
+
+// MonteCarlo estimates #Val(q) by uniform sampling (unbiased but without
+// FPRAS guarantees), reporting the full sampling tallies.
+func (p *PreparedDB) MonteCarlo(ctx context.Context, q cq.Query, samples int, r *rand.Rand) (*MonteCarloResult, error) {
+	return approx.MonteCarloValuationsContext(ctx, p.db, q, samples, r)
+}
+
+// CompletionsLowerBound samples valuations and reports the distinct
+// satisfying completions observed — a lower bound on #Comp(q) with no
+// approximation guarantee (none is possible unless NP = RP; Theorems
+// 5.5/5.7 of the paper) — together with the sampling tallies.
+func (p *PreparedDB) CompletionsLowerBound(ctx context.Context, q cq.Query, samples int, r *rand.Rand) (*LowerBoundResult, error) {
+	return approx.CompletionsLowerBoundContext(ctx, p.db, q, samples, r)
+}
+
+// Completions returns a streaming iterator over the distinct completions
+// of the prepared database that satisfy q, in first-seen enumeration
+// order, without materializing the whole set:
+//
+//	for inst, err := range pdb.Completions(ctx, q) {
+//		if err != nil { ... }
+//		// consume inst
+//	}
+//
+// Breaking out of the loop stops the underlying sweep. A non-nil error is
+// yielded at most once, as the final pair (the brute-force guard, an
+// invalid database, or ctx's cancellation), with a nil instance.
+func (p *PreparedDB) Completions(ctx context.Context, q cq.Query) iter.Seq2[*core.Instance, error] {
+	return p.CompletionsWith(ctx, q, nil)
+}
+
+// CompletionsWith is Completions with per-call runtime options.
+func (p *PreparedDB) CompletionsWith(ctx context.Context, q cq.Query, opts *count.Options) iter.Seq2[*core.Instance, error] {
+	return func(yield func(*core.Instance, error) bool) {
+		eff := p.s.countOptions(ctx, opts)
+		stopped := false
+		err := count.StreamCompletions(p.db, q, eff, func(inst *core.Instance) bool {
+			if !yield(inst, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}

@@ -1,23 +1,24 @@
-package server
+package solver
 
 import (
 	"errors"
 	"sync"
 )
 
-// flightGroup deduplicates concurrent identical work: all callers of Do
+// flightGroup deduplicates concurrent identical work: all callers of do
 // with the same key while one computation is in flight block on it and
 // share its single result. (A from-scratch single-flight — the module is
-// pure standard library by design.)
+// pure standard library by design. Moved here from internal/server so
+// deduplication happens wherever a Solver is used, not only behind HTTP.)
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
 
 type flightCall struct {
-	wg   sync.WaitGroup
-	resp *Response
-	err  error
+	wg  sync.WaitGroup
+	res *Result
+	err error
 }
 
 func newFlightGroup() *flightGroup {
@@ -27,12 +28,12 @@ func newFlightGroup() *flightGroup {
 // do runs fn once per key at a time. The boolean reports whether this
 // caller attached to another caller's in-flight computation rather than
 // running fn itself.
-func (g *flightGroup) do(key string, fn func() (*Response, error)) (*Response, bool, error) {
+func (g *flightGroup) do(key string, fn func() (*Result, error)) (*Result, bool, error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		c.wg.Wait()
-		return c.resp, true, c.err
+		return c.res, true, c.err
 	}
 	c := &flightCall{}
 	c.wg.Add(1)
@@ -41,19 +42,19 @@ func (g *flightGroup) do(key string, fn func() (*Response, error)) (*Response, b
 
 	// Release waiters and the key even if fn panics: a wedged key would
 	// hang every future identical request forever. Waiters of a panicked
-	// call get an error, not a nil response; the panic itself keeps
+	// call get an error, not a nil result; the panic itself keeps
 	// propagating to this caller.
 	finished := false
 	defer func() {
 		if !finished {
-			c.err = errors.New("server: in-flight computation panicked")
+			c.err = errors.New("solver: in-flight computation panicked")
 		}
 		c.wg.Done()
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
 	}()
-	c.resp, c.err = fn()
+	c.res, c.err = fn()
 	finished = true
-	return c.resp, false, c.err
+	return c.res, false, c.err
 }

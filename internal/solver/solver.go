@@ -1,0 +1,211 @@
+// Package solver implements the session layer of the library: a Solver
+// owns the cross-call amortization state — the fingerprint-keyed result
+// cache (moved here from internal/server) and its single-flight group —
+// and hands out PreparedDB sessions that compile a database's canonical
+// form, valuation-space geometry and per-query plans once, then answer
+// any number of counting questions against them.
+//
+// The shape follows the workloads the paper family targets: the journal
+// version of Arenas–Barceló–Monet (arXiv:2011.06330) and the
+// approximation line of work both answer *many* queries and query
+// variants against one incomplete database, which is exactly what a
+// prepared session amortizes. Everything expensive — canonicalization
+// (internal/fingerprint), plan construction (internal/plan), sweep-engine
+// compilation (internal/sweep) — happens at Prepare/first-use time and is
+// reused across calls; the HTTP service of internal/server is a thin
+// adapter over this package.
+package solver
+
+import (
+	"context"
+	"sync/atomic"
+
+	"github.com/incompletedb/incompletedb/internal/count"
+)
+
+// Defaults for configuration fields left zero.
+const (
+	// DefaultCacheSize is the number of results the solver's LRU retains
+	// when no explicit size is configured.
+	DefaultCacheSize = 1024
+)
+
+// Config configures a Solver. The zero value applies the defaults; the
+// functional options (WithWorkers, …) are the ergonomic way to populate
+// it.
+type Config struct {
+	// Workers is the worker-pool width brute-force sweeps shard the
+	// valuation space across; 0 means one worker per CPU, 1 forces serial
+	// sweeps.
+	Workers int
+
+	// MaxValuations is the brute-force guard: the hard cap on the size of
+	// the (post-pruning) valuation space a sweep may enumerate. 0 means
+	// count.DefaultMaxValuations.
+	MaxValuations int64
+
+	// MaxCylinders caps the planner's cylinder inclusion–exclusion route
+	// (the 2^m subset loop). 0 means count.DefaultMaxCylinders; negative
+	// disables the route.
+	MaxCylinders int
+
+	// CacheSize is the number of results the fingerprint-keyed LRU
+	// retains; 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+}
+
+// Option is a functional configuration option for NewSolver.
+type Option func(*Config)
+
+// WithWorkers sets the worker-pool width for brute-force sweeps (0 = one
+// worker per CPU, 1 = serial).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithMaxValuations sets the brute-force guard: the largest (post-pruning)
+// valuation space a sweep may enumerate.
+func WithMaxValuations(n int64) Option { return func(c *Config) { c.MaxValuations = n } }
+
+// WithMaxCylinders caps the cylinder inclusion–exclusion route (negative
+// disables it).
+func WithMaxCylinders(n int) Option { return func(c *Config) { c.MaxCylinders = n } }
+
+// WithCacheSize sets the capacity of the solver's fingerprint-keyed
+// result cache (negative disables caching).
+func WithCacheSize(n int) Option { return func(c *Config) { c.CacheSize = n } }
+
+// Solver is a counting session factory: it owns the result cache and the
+// single-flight deduplication shared by every database prepared through
+// it. A Solver is safe for concurrent use.
+type Solver struct {
+	cfg    Config
+	cache  *resultCache
+	flight *flightGroup
+
+	hits, misses, computations, shared atomic.Int64
+}
+
+// NewSolver returns a Solver configured by the given options.
+func NewSolver(opts ...Option) *Solver {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewSolverConfig(cfg)
+}
+
+// NewSolverConfig is NewSolver over an explicit Config (the constructor
+// the HTTP service uses).
+func NewSolverConfig(cfg Config) *Solver {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &Solver{cfg: cfg, cache: newResultCache(size), flight: newFlightGroup()}
+}
+
+// Config returns the solver's configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// Metrics is a snapshot of the solver's cache and deduplication counters.
+type Metrics struct {
+	// CacheEntries is the number of results currently retained.
+	CacheEntries int
+	// CacheHits and CacheMisses count result-cache lookups.
+	CacheHits, CacheMisses int64
+	// Computations counts actual evaluations — cache hits and
+	// single-flight followers do not increment it.
+	Computations int64
+	// FlightShared counts calls that attached to an identical in-flight
+	// computation instead of starting their own.
+	FlightShared int64
+}
+
+// Metrics returns a snapshot of the solver's counters.
+func (s *Solver) Metrics() Metrics {
+	return Metrics{
+		CacheEntries: s.cache.len(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Computations: s.computations.Load(),
+		FlightShared: s.shared.Load(),
+	}
+}
+
+// maxValuations returns the solver's effective brute-force guard.
+func (s *Solver) maxValuations() int64 {
+	if s.cfg.MaxValuations <= 0 {
+		return count.DefaultMaxValuations
+	}
+	return s.cfg.MaxValuations
+}
+
+// maxCylinders returns the solver's effective cylinder cap (negative =
+// disabled, kept as-is).
+func (s *Solver) maxCylinders() int {
+	if s.cfg.MaxCylinders == 0 {
+		return count.DefaultMaxCylinders
+	}
+	return s.cfg.MaxCylinders
+}
+
+// countOptions builds the runtime counting options for one call: the
+// solver's configuration, overlaid with the per-call overrides of opts
+// (zero fields inherit the solver's values), under ctx.
+func (s *Solver) countOptions(ctx context.Context, opts *count.Options) *count.Options {
+	eff := &count.Options{
+		MaxValuations: s.cfg.MaxValuations,
+		MaxCylinders:  s.cfg.MaxCylinders,
+		Workers:       s.cfg.Workers,
+		Context:       ctx,
+	}
+	if opts != nil {
+		if opts.MaxValuations != 0 {
+			eff.MaxValuations = opts.MaxValuations
+		}
+		if opts.MaxCylinders != 0 {
+			eff.MaxCylinders = opts.MaxCylinders
+		}
+		if opts.Workers != 0 {
+			eff.Workers = opts.Workers
+		}
+		eff.Progress = opts.Progress
+		if eff.Context == nil {
+			eff.Context = opts.Context
+		}
+	}
+	if eff.Context == nil {
+		eff.Context = context.Background()
+	}
+	return eff
+}
+
+// knobsDefault reports whether per-call overrides leave the
+// planning-relevant knobs (MaxValuations, MaxCylinders) at the solver's
+// own effective values. Worker-pool width and progress hooks never change
+// a result or a plan, so they are not knobs in this sense.
+func (s *Solver) knobsDefault(opts *count.Options) bool {
+	if opts == nil {
+		return true
+	}
+	if opts.MaxValuations != 0 {
+		want := opts.MaxValuations
+		if want <= 0 {
+			want = count.DefaultMaxValuations
+		}
+		if want != s.maxValuations() {
+			return false
+		}
+	}
+	if opts.MaxCylinders != 0 && opts.MaxCylinders != s.maxCylinders() {
+		return false
+	}
+	return true
+}
+
+// cacheable reports whether a call with the given per-call overrides may
+// be served from the result cache: only when the overrides leave the
+// planning-relevant knobs at the solver's own values, so a cached result
+// always describes a plan the solver itself would build.
+func (s *Solver) cacheable(opts *count.Options) bool {
+	return s.cfg.CacheSize >= 0 && s.knobsDefault(opts)
+}

@@ -1,0 +1,36 @@
+package incompletedb
+
+import (
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/solver"
+)
+
+// Option is a functional configuration option for NewSolver.
+type Option = solver.Option
+
+// WithWorkers sets the worker-pool width brute-force sweeps shard the
+// valuation space across (0 = one worker per CPU, 1 = serial). Parallel
+// results are bit-identical to serial ones.
+func WithWorkers(n int) Option { return solver.WithWorkers(n) }
+
+// WithMaxValuations sets the brute-force guard: the largest (post-pruning)
+// valuation space a sweep may enumerate before the solver refuses and
+// suggests an estimator. 0 means the package default.
+func WithMaxValuations(n int64) Option { return solver.WithMaxValuations(n) }
+
+// WithMaxCylinders caps the planner's cylinder inclusion–exclusion route
+// (the 2^m subset loop); negative disables the route, 0 means the package
+// default.
+func WithMaxCylinders(n int) Option { return solver.WithMaxCylinders(n) }
+
+// WithCacheSize sets the capacity of the solver's fingerprint-keyed
+// result cache; negative disables caching, 0 means the package default.
+func WithCacheSize(n int) Option { return solver.WithCacheSize(n) }
+
+// CountOptions configures a single counting call when using the
+// deprecated free functions or the *With methods of PreparedDB: the
+// brute-force guard (MaxValuations), the cylinder inclusion–exclusion cap
+// (MaxCylinders), the worker-pool width (Workers; 0 means one worker per
+// CPU), an optional cancellation Context, and an optional Progress hook.
+// Zero fields inherit the solver's configuration.
+type CountOptions = count.Options

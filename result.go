@@ -1,0 +1,43 @@
+package incompletedb
+
+import (
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/solver"
+)
+
+// Method identifies the algorithm used to produce a count. For rewrite
+// plans it is the plan's operator signature, e.g.
+// "complement(exact/theorem-3.9)".
+type Method = count.Method
+
+// The rich result types of the session API: every count carries its
+// method, the executed plan and an execution stats block instead of a
+// bare big integer.
+type (
+	// Result is the outcome of one counting (or decision) call on a
+	// prepared database: the count (or the Holds verdict), the Method and
+	// *Plan that produced it, and an execution Stats block.
+	Result = solver.Result
+
+	// Stats is the execution report attached to every Result: swept
+	// valuations, pruned nulls and their multiplier, cache hit, worker
+	// width and wall time.
+	Stats = solver.Stats
+
+	// EstimateResult reports a Karp–Luby estimate with its full sampling
+	// diagnostics (samples drawn, cylinder count, total cylinder weight)
+	// and the sampling plan.
+	EstimateResult = solver.EstimateResult
+
+	// MonteCarloResult reports a naïve Monte Carlo estimate with its
+	// satisfying fraction and sample tallies.
+	MonteCarloResult = solver.MonteCarloResult
+
+	// LowerBoundResult reports a completion lower bound with its sampling
+	// tallies (samples drawn, distinct completions seen).
+	LowerBoundResult = solver.LowerBoundResult
+
+	// MuResult reports Libkin's relative frequency µ_k(q, T) together
+	// with the underlying #Val Result it was derived from.
+	MuResult = solver.MuResult
+)

@@ -1,0 +1,101 @@
+package incompletedb
+
+// Session-vs-free-function benchmarks on a compilation-dominated
+// workload: a database with many ground facts and a tiny relevant
+// valuation space, so canonicalization, planning and sweep-engine
+// compilation dominate each call and execution is trivial. Prepare-then-
+// N-queries amortizes all three; the pre-session dispatcher (what every
+// free-function call used to do) rebuilds them per call.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/count"
+)
+
+// compilationHeavyDB builds a database whose per-call fixed costs dwarf
+// execution: 600 ground facts plus two nulls over two-value domains (a
+// four-valuation relevant space).
+func compilationHeavyDB() *Database {
+	db := NewDatabase()
+	for i := 0; i < 300; i++ {
+		a := Const(fmt.Sprintf("a%d", i))
+		b := Const(fmt.Sprintf("b%d", i))
+		db.MustAddFact("R", a, b)
+		db.MustAddFact("S", b, a)
+	}
+	db.MustAddFact("R", Null(1), Null(2))
+	db.SetDomain(1, []string{"a0", "b0"})
+	db.SetDomain(2, []string{"a0", "b0"})
+	return db
+}
+
+var sessionBenchQueries = []string{
+	"R(x, x)",
+	"R(x, y) ∧ S(y, z)",
+	"R(x, y) ∧ x ≠ y",
+}
+
+// BenchmarkManyQueriesFreeFunctions answers the query mix through the
+// per-call dispatcher — plan construction and engine compilation redone
+// every call, exactly what each deprecated free function used to cost.
+func BenchmarkManyQueriesFreeFunctions(b *testing.B) {
+	db := compilationHeavyDB()
+	qs := make([]Query, len(sessionBenchQueries))
+	for i, s := range sessionBenchQueries {
+		qs[i] = MustParseQuery(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := count.CountValuations(db, qs[i%len(qs)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManyQueriesPrepared answers the same mix through one prepared
+// session: plans (and their compiled engines) are cached per canonical
+// query, results per fingerprint.
+func BenchmarkManyQueriesPrepared(b *testing.B) {
+	pdb, err := NewSolver().Prepare(compilationHeavyDB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]Query, len(sessionBenchQueries))
+	for i, s := range sessionBenchQueries {
+		qs[i] = MustParseQuery(s)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdb.Count(ctx, qs[i%len(qs)], Valuations); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManyQueriesPreparedNoCache isolates the plan-cache win from
+// the result cache: every call re-executes its plan, but planning and
+// engine compilation are still amortized by the session.
+func BenchmarkManyQueriesPreparedNoCache(b *testing.B) {
+	pdb, err := NewSolver(WithCacheSize(-1)).Prepare(compilationHeavyDB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]Query, len(sessionBenchQueries))
+	for i, s := range sessionBenchQueries {
+		qs[i] = MustParseQuery(s)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdb.Count(ctx, qs[i%len(qs)], Valuations); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
