@@ -11,7 +11,8 @@
 //	incdb table1
 //	incdb count -db data.idb -q "R(x,x)" -kind val [-json]
 //	incdb estimate -db data.idb -q "R(x,x)" -eps 0.05 -delta 0.01
-//	incdb serve -addr 127.0.0.1:8333 -cache 1024 -max 4194304
+//	incdb serve -addr 127.0.0.1:8333 -db data.idb -cache 1024 -max 4194304
+//	incdb mutate -addr http://127.0.0.1:8333 -add "R(a, ?3)" -extend "?3 a b" -remove "S(b)"
 //	incdb experiments [-quick] [-seed N]
 //
 // Ctrl-C (SIGINT) and SIGTERM cancel in-flight brute-force sweeps: count
@@ -28,14 +29,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +72,8 @@ func main() {
 		err = cmdEstimate(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "mutate":
+		err = cmdMutate(ctx, os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "help", "-h", "--help":
@@ -94,7 +100,10 @@ commands:
   explain -db FILE -q QUERY      compile and render the query plan without executing it
                                  (-kind val|comp, -max N, -max-cylinders N, -timeout D)
   estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed, -timeout D)
-  serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers, -jobs)
+  serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers,
+                                 -jobs, -db FILE preloads the live mutable session)
+  mutate -addr URL               mutate a running server's live session in command-line order
+                                 (-load FILE, -add FACT, -remove FACT, -extend "?1 a b", -show)
   experiments [-quick] [-seed N] run the paper-reproduction experiment suite
 
 classify, count, explain and estimate accept -json for machine-readable
@@ -369,6 +378,7 @@ func cmdEstimate(ctx context.Context, args []string) error {
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8333", "listen address")
+	dbPath := fs.String("db", "", "database file to preload as the live mutable session")
 	cacheSize := fs.Int("cache", server.DefaultCacheSize, "result-cache capacity in entries (negative disables caching)")
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "per-request valuation budget for brute-force sweeps")
 	maxCyl := fs.Int("max-cylinders", 0, "per-request cap on cylinder inclusion–exclusion (0 = default 18, negative disables)")
@@ -382,9 +392,155 @@ func cmdServe(ctx context.Context, args []string) error {
 		Workers:       *workers,
 		MaxJobs:       *jobs,
 	})
+	if *dbPath != "" {
+		db, err := loadDB(*dbPath)
+		if err != nil {
+			return err
+		}
+		if err := srv.LoadDatabase(db); err != nil {
+			return fmt.Errorf("serve: preload %s: %w", *dbPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "incdb: live session loaded from %s (%d facts)\n", *dbPath, len(db.Facts()))
+	}
 	fmt.Fprintf(os.Stderr, "incdb: serving on http://%s (cache %d entries, budget %d valuations)\n",
 		*addr, *cacheSize, *maxVals)
 	return srv.ListenAndServe(ctx, *addr)
+}
+
+// mutOp is one ordered live-session write from the mutate command line;
+// flag.Var callbacks fire in argument order, so interleaved -add/-remove/
+// -extend flags apply in the order the user wrote them.
+type mutOp struct {
+	kind string // "add" | "remove" | "extend"
+	arg  string
+}
+
+// opFlag collects one kind of repeated mutate flag into the shared
+// ordered op list.
+type opFlag struct {
+	ops  *[]mutOp
+	kind string
+}
+
+func (f opFlag) String() string { return "" }
+func (f opFlag) Set(v string) error {
+	*f.ops = append(*f.ops, mutOp{kind: f.kind, arg: v})
+	return nil
+}
+
+// httpJSON sends one JSON request to a running incdb serve and decodes
+// the JSON response, mapping error bodies to errors.
+func httpJSON(ctx context.Context, method, url string, body, out interface{}) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&eb); err == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, url, eb.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	return dec.Decode(out)
+}
+
+// cmdMutate speaks to a running incdb serve's live mutable session:
+// -load replaces the database, then each -add/-remove/-extend applies in
+// command-line order, and -show prints the resulting database.
+func cmdMutate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8333", "base URL of a running incdb serve")
+	load := fs.String("load", "", "database file to load as the live session (POST /v1/db) before mutating")
+	show := fs.Bool("show", false, "print the live database after applying all mutations")
+	jsonOut := fs.Bool("json", false, "emit each mutation response as JSON")
+	var ops []mutOp
+	fs.Var(opFlag{&ops, "add"}, "add", "fact to add, e.g. 'R(a, ?1)' (repeatable)")
+	fs.Var(opFlag{&ops, "remove"}, "remove", "fact to remove (repeatable)")
+	fs.Var(opFlag{&ops, "extend"}, "extend", "domain extension '?1 a b' — null then values; omit the null on a uniform database (repeatable)")
+	fs.Parse(args)
+	if *load == "" && len(ops) == 0 && !*show {
+		return fmt.Errorf("mutate: nothing to do (use -load, -add, -remove, -extend or -show)")
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if *load != "" {
+		raw, err := os.ReadFile(*load)
+		if err != nil {
+			return err
+		}
+		var state server.DatabaseState
+		if err := httpJSON(ctx, "POST", base+"/v1/db", server.Request{Database: string(raw)}, &state); err != nil {
+			return err
+		}
+		if *jsonOut {
+			state.Database = ""
+			if err := printJSON(state); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("loaded %s: %d facts, epoch %d\n", *load, state.Facts, state.Epoch)
+		}
+	}
+	for _, op := range ops {
+		var (
+			mreq   server.MutationRequest
+			method = "POST"
+			path   = "/v1/facts"
+		)
+		switch op.kind {
+		case "add":
+			mreq.Facts = []string{op.arg}
+		case "remove":
+			method = "DELETE"
+			mreq.Facts = []string{op.arg}
+		case "extend":
+			path = "/v1/domain"
+			fields := strings.Fields(op.arg)
+			if len(fields) > 0 && strings.HasPrefix(fields[0], "?") {
+				mreq.Null, mreq.Values = fields[0], fields[1:]
+			} else {
+				mreq.Values = fields
+			}
+		}
+		var mresp server.MutationResponse
+		if err := httpJSON(ctx, method, base+path, mreq, &mresp); err != nil {
+			return fmt.Errorf("-%s %q: %w", op.kind, op.arg, err)
+		}
+		if *jsonOut {
+			if err := printJSON(mresp); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("%s %q: applied %d, epoch %d, %d facts\n", op.kind, op.arg, mresp.Applied, mresp.Epoch, mresp.Facts)
+		}
+	}
+	if *show {
+		var state server.DatabaseState
+		if err := httpJSON(ctx, "GET", base+"/v1/db", struct{}{}, &state); err != nil {
+			return err
+		}
+		if *jsonOut {
+			return printJSON(state)
+		}
+		fmt.Print(state.Database)
+	}
+	return nil
 }
 
 func cmdExperiments(args []string) error {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -391,6 +392,87 @@ func TestCmdServe(t *testing.T) {
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("serve did not shut down cleanly: %v", err)
+	}
+}
+
+// TestCmdMutate drives a live server through the mutate subcommand:
+// load a database, add/extend/remove in command-line order, show the
+// result, and count through the live session (empty database field).
+func TestCmdMutate(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ctx, ln) }()
+	t.Cleanup(func() { cancel(); <-done })
+	addr := ln.Addr().String()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.idb")
+	if err := os.WriteFile(path, []byte("dom ?1 a b\nR(?1, a)\nS(b)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error {
+		return cmdMutate(context.Background(), []string{
+			"-addr", addr,
+			"-load", path,
+			"-extend", "?7 a b c",
+			"-add", "R(?7, b)",
+			"-remove", "S(b)",
+			"-show",
+		})
+	})
+	if err != nil {
+		t.Fatalf("mutate failed: %v\n%s", err, out)
+	}
+	for _, frag := range []string{"loaded", "applied 1", "R(?7, b)", "dom ?7 a b c"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("mutate output missing %q:\n%s", frag, out)
+		}
+	}
+	// "S(b)" appears once, in the remove echo line — not in the shown
+	// database.
+	if strings.Count(out, "S(b)") != 1 {
+		t.Errorf("removed fact still shown:\n%s", out)
+	}
+
+	// The live session answers count traffic over the mutated database.
+	resp := srv.Execute(server.Request{Op: server.OpCount, Query: "R(x, y)", Kind: server.KindVal})
+	if resp.Error != "" {
+		t.Fatalf("live count: %s", resp.Error)
+	}
+	// R(?1, a) with ?1 over {a,b} and R(?7, b) with ?7 over {a,b,c}:
+	// every one of the 2·3 valuations satisfies R(x, y).
+	if resp.Count != "6" {
+		t.Errorf("live count = %s, want 6", resp.Count)
+	}
+
+	// Nothing to do is an error.
+	if err := cmdMutate(context.Background(), []string{"-addr", addr}); err == nil {
+		t.Error("mutate with no operations accepted")
+	}
+}
+
+// TestCmdServePreload proves serve -db loads the live session before
+// accepting traffic.
+func TestCmdServePreload(t *testing.T) {
+	path := writeTestDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe(ctx, []string{"-addr", "127.0.0.1:0", "-db", path})
+	}()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve -db did not start and shut down cleanly: %v", err)
+	}
+	if err := cmdServe(context.Background(), []string{"-addr", "127.0.0.1:0", "-db", filepath.Join(t.TempDir(), "missing.idb")}); err == nil {
+		t.Error("serve -db with a missing file accepted")
 	}
 }
 

@@ -52,6 +52,55 @@ func ExampleSolver() {
 	// cache hit: true
 }
 
+// ExamplePreparedDB_mutation mutates a live session in place: each
+// write replays through the session's delta path (patching or
+// invalidating exactly the affected cached plans), and the next count
+// reflects it immediately — no re-Prepare.
+func ExamplePreparedDB_mutation() {
+	db := incdb.NewDatabase()
+	db.MustAddFact("S", incdb.Const("a"), incdb.Const("b"))
+	db.MustAddFact("S", incdb.Null(1), incdb.Const("a"))
+	db.SetDomain(1, []string{"a", "b", "c"})
+
+	pdb, err := incdb.NewSolver().Prepare(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	q := incdb.MustParseQuery("S(x, x)")
+
+	count := func() {
+		res, err := pdb.Count(ctx, q, incdb.Valuations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("#Val(q) = %v at epoch %d\n", res.Count, res.Stats.Epoch)
+	}
+	count()
+
+	// A ground fact satisfying q makes every valuation a witness.
+	if err := pdb.AddFact("S", incdb.Const("c"), incdb.Const("c")); err != nil {
+		log.Fatal(err)
+	}
+	count()
+
+	pdb.RemoveFact("S", incdb.Const("c"), incdb.Const("c"))
+	count()
+
+	// Growing ?1's domain adds a valuation that does not satisfy q.
+	if err := pdb.ExtendDomain(1, "d"); err != nil {
+		log.Fatal(err)
+	}
+	count()
+	fmt.Printf("total valuations: %v\n", pdb.TotalValuations())
+	// Output:
+	// #Val(q) = 1 at epoch 3
+	// #Val(q) = 3 at epoch 4
+	// #Val(q) = 1 at epoch 5
+	// #Val(q) = 1 at epoch 6
+	// total valuations: 4
+}
+
 // ExamplePreparedDB_completions streams the distinct satisfying
 // completions of Figure 1 without materializing the whole set.
 func ExamplePreparedDB_completions() {

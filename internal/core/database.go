@@ -13,19 +13,29 @@ import (
 // set via SetDomain) or uniform (a single domain shared by all nulls, fixed
 // at construction time via NewUniformDatabase).
 //
+// A Database is mutable: facts can be added (AddFact) and removed
+// (RemoveFact), and domains can be extended (ExtendDomain,
+// ExtendUniformDomain). Every effective mutation bumps the monotone
+// Version counter and appends a Delta record (see delta.go), so derived
+// state elsewhere can be maintained incrementally.
+//
 // The zero value is not usable; use NewDatabase or NewUniformDatabase.
 type Database struct {
-	facts   []Fact
-	keys    map[string]int    // fact key -> index into facts
-	byRel   map[string][]Fact // per-relation view of facts, insertion order
-	arity   map[string]int
-	nullSet map[NullID]bool
+	facts    []Fact
+	keys     map[string]int    // fact key -> index into facts
+	byRel    map[string][]Fact // per-relation view of facts, insertion order
+	arity    map[string]int
+	nullRefs map[NullID]int // occurrences per null (argument positions)
 
 	uniform bool
 	uniDom  []string            // shared domain when uniform
 	doms    map[NullID][]string // per-null domains when non-uniform
 
 	nullsCache []NullID // sorted; nil when dirty
+
+	version uint64  // monotone mutation counter
+	log     []Delta // bounded mutation log; log[i].Version == logBase+1+i
+	logBase uint64  // version just before the first retained delta
 }
 
 // NewDatabase returns an empty non-uniform incomplete database. Every null
@@ -33,11 +43,11 @@ type Database struct {
 // is evaluated.
 func NewDatabase() *Database {
 	return &Database{
-		keys:    make(map[string]int),
-		byRel:   make(map[string][]Fact),
-		arity:   make(map[string]int),
-		nullSet: make(map[NullID]bool),
-		doms:    make(map[NullID][]string),
+		keys:     make(map[string]int),
+		byRel:    make(map[string][]Fact),
+		arity:    make(map[string]int),
+		nullRefs: make(map[NullID]int),
+		doms:     make(map[NullID][]string),
 	}
 }
 
@@ -45,12 +55,12 @@ func NewDatabase() *Database {
 // nulls all range over dom. Duplicates in dom are removed; order is kept.
 func NewUniformDatabase(dom []string) *Database {
 	d := &Database{
-		keys:    make(map[string]int),
-		byRel:   make(map[string][]Fact),
-		arity:   make(map[string]int),
-		nullSet: make(map[NullID]bool),
-		uniform: true,
-		uniDom:  dedupStrings(dom),
+		keys:     make(map[string]int),
+		byRel:    make(map[string][]Fact),
+		arity:    make(map[string]int),
+		nullRefs: make(map[NullID]int),
+		uniform:  true,
+		uniDom:   dedupStrings(dom),
 	}
 	return d
 }
@@ -100,11 +110,15 @@ func (d *Database) AddFact(rel string, args ...Value) error {
 	d.facts = append(d.facts, f)
 	d.byRel[rel] = append(d.byRel[rel], f)
 	for _, v := range f.Args {
-		if v.IsNull() && !d.nullSet[v.NullID()] {
-			d.nullSet[v.NullID()] = true
-			d.nullsCache = nil
+		if v.IsNull() {
+			n := v.NullID()
+			if d.nullRefs[n] == 0 {
+				d.nullsCache = nil
+			}
+			d.nullRefs[n]++
 		}
 	}
+	d.record(Delta{Op: DeltaAddFact, Fact: f})
 	return nil
 }
 
@@ -126,8 +140,27 @@ func (d *Database) SetDomain(n NullID, dom []string) error {
 	if n <= 0 {
 		return fmt.Errorf("core: SetDomain on invalid null id %d", n)
 	}
-	d.doms[n] = dedupStrings(dom)
+	next := dedupStrings(dom)
+	if cur, ok := d.doms[n]; ok && equalStrings(cur, next) {
+		return nil
+	}
+	d.doms[n] = next
+	// A wholesale replacement is not incrementally maintainable (values
+	// may disappear or reorder); the record tells consumers to rebuild.
+	d.record(Delta{Op: DeltaSetDomain, Null: n})
 	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Domain returns the domain of null n: the shared domain if the database is
@@ -143,8 +176,8 @@ func (d *Database) Domain(n NullID) []string {
 // Nulls returns the distinct nulls occurring in the table, sorted by ID.
 func (d *Database) Nulls() []NullID {
 	if d.nullsCache == nil {
-		out := make([]NullID, 0, len(d.nullSet))
-		for n := range d.nullSet {
+		out := make([]NullID, 0, len(d.nullRefs))
+		for n := range d.nullRefs {
 			out = append(out, n)
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -154,7 +187,7 @@ func (d *Database) Nulls() []NullID {
 }
 
 // HasNull reports whether null n occurs in the table.
-func (d *Database) HasNull(n NullID) bool { return d.nullSet[n] }
+func (d *Database) HasNull(n NullID) bool { return d.nullRefs[n] > 0 }
 
 // Facts returns all facts of the table, in insertion order. The returned
 // slice must not be modified.

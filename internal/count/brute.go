@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"strings"
 
+	"github.com/incompletedb/incompletedb/internal/classify"
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/plan"
@@ -74,11 +75,31 @@ type Options struct {
 	// shards partition it into near-equal contiguous slices.
 	Progress func(done, total int)
 
+	// FactorMemo, when non-nil, caches the counts of the independent
+	// components of factorized plans (OpFactor/OpFactorUnion children)
+	// across plan executions: the executor consults it before computing a
+	// component and stores the raw component count afterwards. This is how
+	// an incremental recount after a database delta re-sweeps only the
+	// touched component — the memo (maintained by internal/solver)
+	// invalidates exactly the components whose relations or nulls the
+	// delta touched and serves the rest from cache.
+	FactorMemo FactorMemo
+
 	// rejectedPaths records, when set by the plan executor, why each fast
 	// path did not apply (the plan node's rejected decision records), so
 	// the brute-force guard can explain what was already tried instead of
 	// suggesting it.
 	rejectedPaths []string
+}
+
+// FactorMemo caches per-component counts of factorized plans. Lookup
+// returns the cached count of component query q under the counting kind;
+// Store records a freshly computed one. The returned big.Int must not be
+// mutated by either side. Implementations decide validity: a stale entry
+// must be dropped by the maintainer before the next execution.
+type FactorMemo interface {
+	LookupFactor(q cq.Query, kind classify.CountingKind) (*big.Int, bool)
+	StoreFactor(q cq.Query, kind classify.CountingKind, count *big.Int)
 }
 
 // planOptions projects the counting options onto the planner's.

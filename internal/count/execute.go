@@ -118,7 +118,7 @@ func execNode(db *core.Database, n *plan.Node, opts *Options) (*big.Int, error) 
 				return nil, err
 			}
 		}
-		return set.UnionCountContext(opts.context())
+		return set.UnionCountParallel(opts.context(), opts.workers())
 
 	case plan.OpSweep:
 		o := opts.withRejected(n.RejectedNotes())
@@ -166,9 +166,26 @@ func execFactor(db *core.Database, n *plan.Node, opts *Options, union bool) (*bi
 	}
 	product := big.NewInt(1)
 	for _, c := range n.Children {
-		v, err := execNode(db, c, opts)
-		if err != nil {
-			return nil, err
+		// The factor memo serves a component's count from a previous
+		// execution when the maintainer (internal/solver) knows it is still
+		// valid — this is what makes a recount after a single-component
+		// delta re-sweep only that component. Raw component counts are
+		// memoized; the union transform below is applied on top.
+		var v *big.Int
+		if opts != nil && opts.FactorMemo != nil {
+			if hit, ok := opts.FactorMemo.LookupFactor(c.Query, c.Kind); ok {
+				v = hit
+			}
+		}
+		if v == nil {
+			var err error
+			v, err = execNode(db, c, opts)
+			if err != nil {
+				return nil, err
+			}
+			if opts != nil && opts.FactorMemo != nil {
+				opts.FactorMemo.StoreFactor(c.Query, c.Kind, v)
+			}
 		}
 		if union {
 			v = new(big.Int).Sub(total, v)

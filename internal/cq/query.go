@@ -244,6 +244,37 @@ func (Tautology) String() string { return "TRUE" }
 // Eval always reports true.
 func (Tautology) Eval(*core.Instance) bool { return true }
 
+// Signature returns sig(q), the set of relation names q mentions, walking
+// through unions, inequalities and negations. ok is false for queries
+// outside the syntactic fragment (Func and unknown implementations), whose
+// signature is unknown — they must be treated as touching every relation.
+func Signature(q Query) (rels map[string]bool, ok bool) {
+	switch t := q.(type) {
+	case Tautology:
+		return map[string]bool{}, true
+	case *BCQ:
+		rels = make(map[string]bool, len(t.Atoms))
+		for _, a := range t.Atoms {
+			rels[a.Rel] = true
+		}
+		return rels, true
+	case *UCQ:
+		rels = make(map[string]bool)
+		for _, d := range t.Disjuncts {
+			for _, a := range d.Atoms {
+				rels[a.Rel] = true
+			}
+		}
+		return rels, true
+	case *BCQNeq:
+		return Signature(t.Base)
+	case *Negation:
+		return Signature(t.Inner)
+	default:
+		return nil, false
+	}
+}
+
 // Func wraps an arbitrary model-checking function as a Query. It is used for
 // queries outside the (U)CQ fragment, such as the existential second-order
 // query of Theorem 6.4.

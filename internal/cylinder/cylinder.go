@@ -21,6 +21,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/cq"
@@ -393,6 +394,61 @@ func (s *Set) UnionCountContext(ctx context.Context) (*big.Int, error) {
 		} else {
 			total.Sub(total, w)
 		}
+	}
+	return total, ctx.Err()
+}
+
+// UnionCountParallel is UnionCountContext sharded across workers: the
+// [1, 2^m) subset range is split into contiguous chunks, each worker
+// accumulates the signed terms of its chunk into a local big.Int, and the
+// per-chunk sums are merged in chunk index order. big.Int addition is
+// exact, so the result is bit-identical to the serial loop regardless of
+// worker count. Small ranges and workers ≤ 1 fall back to the serial
+// implementation.
+func (s *Set) UnionCountParallel(ctx context.Context, workers int) (*big.Int, error) {
+	m := len(s.Cylinders)
+	if m > MaxUnionCylinders {
+		return nil, fmt.Errorf("cylinder: inclusion–exclusion over %d cylinders is too large (limit %d)", m, MaxUnionCylinders)
+	}
+	nmasks := 1<<uint(m) - 1 // subset terms: masks 1 .. 2^m-1
+	if workers > nmasks {
+		workers = nmasks
+	}
+	if workers <= 1 || nmasks < 2*cancelCheckMasks {
+		return s.UnionCountContext(ctx)
+	}
+	sums := make([]*big.Int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := 1 + w*nmasks/workers
+		hi := 1 + (w+1)*nmasks/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			total := big.NewInt(0)
+			for mask := lo; mask < hi; mask++ {
+				if mask%cancelCheckMasks == 0 && ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					return
+				}
+				t := s.intersectionWeight(mask)
+				if popcount(mask)%2 == 1 {
+					total.Add(total, t)
+				} else {
+					total.Sub(total, t)
+				}
+			}
+			sums[w] = total
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := big.NewInt(0)
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		total.Add(total, sums[w])
 	}
 	return total, ctx.Err()
 }

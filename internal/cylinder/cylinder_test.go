@@ -290,3 +290,45 @@ func TestEmptyRelationNoCylinders(t *testing.T) {
 		t.Fatalf("union %v, err %v", u, err)
 	}
 }
+
+func TestUnionCountParallelMatchesSerial(t *testing.T) {
+	// 12 cylinders → 4095 subset terms: enough to engage the sharded path
+	// (it falls back to serial below 2048 terms).
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	for i := 1; i <= 12; i++ {
+		db.MustAddFact("R", core.Null(core.NullID(i)), core.Null(core.NullID(i%12+1)))
+	}
+	q := cq.MustParseBCQ("R(x, x)")
+	set, err := cylinder.Build(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Cylinders) != 12 {
+		t.Fatalf("built %d cylinders, want 12", len(set.Cylinders))
+	}
+	serial, err := set.UnionCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := count.BruteForceValuations(db, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Cmp(want) != 0 {
+		t.Fatalf("serial union = %v, brute = %v", serial, want)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7, 64, 10000} {
+		got, err := set.UnionCountParallel(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(serial) != 0 {
+			t.Fatalf("workers=%d: parallel union = %v, serial = %v", workers, got, serial)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := set.UnionCountParallel(ctx, 4); err != context.Canceled {
+		t.Fatalf("cancelled parallel union err = %v", err)
+	}
+}

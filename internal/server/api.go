@@ -27,7 +27,10 @@ const (
 // core.ParseDatabase), a query (syntax of cq.Parse), and parameters. On
 // the dedicated endpoints (/v1/count, /v1/estimate, …) Op may be omitted;
 // on /v1/batch and /v1/jobs it selects the operation (jobs support only
-// OpCount).
+// OpCount). An empty Database routes the request to the live mutable
+// session (loaded with POST /v1/db or incdb serve -db) instead of
+// parsing an inline database; such a request fails if no live database
+// has been loaded.
 type Request struct {
 	Op       string `json:"op,omitempty"`
 	Database string `json:"database,omitempty"`
@@ -212,6 +215,53 @@ type JobList struct {
 	Jobs []*Job `json:"jobs"`
 }
 
+// MutationRequest is the body of the live-session write endpoints:
+// POST /v1/facts (add), DELETE /v1/facts (remove) and POST /v1/domain
+// (extend a null's domain, or the uniform domain).
+type MutationRequest struct {
+	// Facts are textual facts ("R(a, ?1)") for the facts endpoints. All
+	// facts are parsed before any is applied, so a syntax error mutates
+	// nothing.
+	Facts []string `json:"facts,omitempty"`
+
+	// Null names the null ("?1") whose domain /v1/domain extends. Empty
+	// on a uniform database, where Values extend the shared domain.
+	Null string `json:"null,omitempty"`
+
+	// Values are the constants /v1/domain adds to the domain.
+	Values []string `json:"values,omitempty"`
+}
+
+// MutationResponse reports the outcome of one live-session write.
+type MutationResponse struct {
+	// Applied counts the mutations that changed the database: facts
+	// actually added (duplicates are no-ops), facts actually removed,
+	// or 1 for an effective domain extension.
+	Applied int `json:"applied"`
+
+	// Epoch is the live database's version after the write; every
+	// effective mutation advances it.
+	Epoch uint64 `json:"epoch"`
+
+	// Facts is the live database's fact count after the write.
+	Facts int `json:"facts"`
+}
+
+// DatabaseState describes the live mutable session: the response of
+// GET /v1/db and POST /v1/db, and the live block of /v1/stats (which
+// elides the textual form).
+type DatabaseState struct {
+	// Database is the textual form (format of core.ParseDatabase).
+	Database string `json:"database,omitempty"`
+
+	// Epoch is the database's monotone version counter.
+	Epoch   uint64 `json:"epoch"`
+	Facts   int    `json:"facts"`
+	Nulls   int    `json:"nulls"`
+	Uniform bool   `json:"uniform,omitempty"`
+	Codd    bool   `json:"codd,omitempty"`
+}
+
 // Stats is the response of GET /v1/stats: cache and deduplication
 // counters that make the service's sharing behaviour observable.
 type Stats struct {
@@ -226,6 +276,20 @@ type Stats struct {
 	// FlightShared counts requests that attached to an identical
 	// in-flight computation instead of starting their own.
 	FlightShared int64 `json:"flight_shared"`
+
+	// Mutations counts database deltas absorbed by live sessions;
+	// PlansInvalidated/PlansPatched split how each delta hit the plan
+	// cache (dropped vs. patched in place), and FactorsReused counts
+	// independent-component counts served from the factor memo instead
+	// of re-swept. Together they make the incremental-recount path
+	// observable.
+	Mutations        int64 `json:"mutations,omitempty"`
+	PlansInvalidated int64 `json:"plans_invalidated,omitempty"`
+	PlansPatched     int64 `json:"plans_patched,omitempty"`
+	FactorsReused    int64 `json:"factors_reused,omitempty"`
+
+	// Live describes the live mutable session, if one is loaded.
+	Live *DatabaseState `json:"live,omitempty"`
 
 	Jobs map[string]int `json:"jobs,omitempty"`
 }

@@ -26,6 +26,14 @@
 // through the shared solver and executing the session call that matches
 // the endpoint.
 //
+// The server also hosts one live mutable session: a database loaded with
+// POST /v1/db (or incdb serve -db) stays prepared across requests, and
+// the write endpoints mutate it through the solver session's delta path —
+// plans whose relations a delta touches are invalidated or patched in
+// place, untouched independent components are served from the factor
+// memo, and interleaved count traffic (any read request with an empty
+// database field) sees each write immediately.
+//
 // Endpoints:
 //
 //	GET    /healthz            liveness probe
@@ -42,6 +50,11 @@
 //	GET    /v1/jobs            list jobs
 //	GET    /v1/jobs/{id}       job status, progress, result
 //	DELETE /v1/jobs/{id}       cancel a running job
+//	POST   /v1/db              load (replace) the live mutable database
+//	GET    /v1/db              render the live database and its epoch
+//	POST   /v1/facts           add facts to the live database
+//	DELETE /v1/facts           remove facts from the live database
+//	POST   /v1/domain          extend a null's domain (or the uniform one)
 package server
 
 import (
@@ -141,6 +154,13 @@ type Server struct {
 	jobs   *jobManager
 	mux    *http.ServeMux
 
+	// live is the mutable session the write endpoints operate on and
+	// empty-database read requests route to. liveMu guards the pointer
+	// and serializes writes (and textual rendering) against each other;
+	// count traffic synchronizes through the session's own lock.
+	liveMu sync.Mutex
+	live   *solver.PreparedDB
+
 	// root is the lifetime context of background work (sync computations
 	// and jobs); Close cancels it.
 	root      context.Context
@@ -175,6 +195,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("POST /v1/db", s.handleDBLoad)
+	s.mux.HandleFunc("GET /v1/db", s.handleDBGet)
+	s.mux.HandleFunc("POST /v1/facts", s.handleFactsAdd)
+	s.mux.HandleFunc("DELETE /v1/facts", s.handleFactsRemove)
+	s.mux.HandleFunc("POST /v1/domain", s.handleDomain)
 	return s
 }
 
@@ -220,14 +245,65 @@ func (s *Server) Solver() *solver.Solver { return s.solver }
 // deduplication counters come from the underlying solver).
 func (s *Server) Stats() Stats {
 	m := s.solver.Metrics()
-	return Stats{
-		CacheEntries: m.CacheEntries,
-		CacheHits:    m.CacheHits,
-		CacheMisses:  m.CacheMisses,
-		Computations: m.Computations,
-		FlightShared: m.FlightShared,
-		Jobs:         s.jobs.statusCounts(),
+	st := Stats{
+		CacheEntries:     m.CacheEntries,
+		CacheHits:        m.CacheHits,
+		CacheMisses:      m.CacheMisses,
+		Computations:     m.Computations,
+		FlightShared:     m.FlightShared,
+		Mutations:        m.Mutations,
+		PlansInvalidated: m.PlansInvalidated,
+		PlansPatched:     m.PlansPatched,
+		FactorsReused:    m.FactorsReused,
+		Jobs:             s.jobs.statusCounts(),
 	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.live != nil {
+		st.Live = s.databaseStateLocked(false)
+	}
+	return st
+}
+
+// LoadDatabase prepares db through the server's solver and installs it
+// as the live mutable session, replacing any previous one. It is the
+// programmatic equivalent of POST /v1/db (incdb serve -db preloads
+// through it).
+func (s *Server) LoadDatabase(db *core.Database) error {
+	pdb, err := s.solver.Prepare(db)
+	if err != nil {
+		return err
+	}
+	s.liveMu.Lock()
+	s.live = pdb
+	s.liveMu.Unlock()
+	return nil
+}
+
+// Live returns the live mutable session, or nil if no database has been
+// loaded.
+func (s *Server) Live() *solver.PreparedDB {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.live
+}
+
+// databaseStateLocked snapshots the live session (liveMu held, live
+// non-nil). withText includes the textual database form, which stats
+// responses elide.
+func (s *Server) databaseStateLocked(withText bool) *DatabaseState {
+	db := s.live.Database()
+	st := &DatabaseState{
+		Epoch:   s.live.Epoch(),
+		Facts:   len(db.Facts()),
+		Nulls:   len(db.Nulls()),
+		Uniform: db.Uniform(),
+		Codd:    db.IsCodd(),
+	}
+	if withText {
+		st.Database = db.String()
+	}
+	return st
 }
 
 // Execute runs one request synchronously and returns its response; errors
@@ -316,23 +392,33 @@ func (s *Server) execClassify(req Request) (*Response, error) {
 	return &Response{Op: OpClassify, Query: q.String(), Classification: out}, nil
 }
 
-// parseInput parses the request's database and query.
-func parseInput(req Request) (*core.Database, cq.Query, error) {
-	if req.Database == "" {
-		return nil, nil, badRequest("database is required")
-	}
+// sessionFor resolves the request's session and query: an inline
+// database is parsed and prepared (deduplicated by the solver's
+// canonical forms), an empty one routes to the live mutable session.
+func (s *Server) sessionFor(req Request) (*solver.PreparedDB, cq.Query, error) {
 	if req.Query == "" {
 		return nil, nil, badRequest("query is required")
-	}
-	db, err := core.ParseDatabaseString(req.Database)
-	if err != nil {
-		return nil, nil, badRequest("database: %v", err)
 	}
 	q, err := cq.Parse(req.Query)
 	if err != nil {
 		return nil, nil, badRequest("query: %v", err)
 	}
-	return db, q, nil
+	if req.Database == "" {
+		pdb := s.Live()
+		if pdb == nil {
+			return nil, nil, badRequest("database is required (no live database loaded; POST /v1/db first)")
+		}
+		return pdb, q, nil
+	}
+	db, err := core.ParseDatabaseString(req.Database)
+	if err != nil {
+		return nil, nil, badRequest("database: %v", err)
+	}
+	pdb, err := s.solver.Prepare(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pdb, q, nil
 }
 
 // requestOptions builds the per-call option overrides for one request:
@@ -382,15 +468,11 @@ func fingerprintKind(req Request) (fingerprint.Kind, string, error) {
 // root context (not the request's): a shared result must not die with
 // whichever of its waiters disconnects first.
 func (s *Server) execCached(req Request) (*Response, error) {
-	db, q, err := parseInput(req)
+	pdb, q, err := s.sessionFor(req)
 	if err != nil {
 		return nil, err
 	}
 	fpKind, kind, err := fingerprintKind(req)
-	if err != nil {
-		return nil, err
-	}
-	pdb, err := s.solver.Prepare(db)
 	if err != nil {
 		return nil, err
 	}
@@ -451,17 +533,13 @@ func (s *Server) resultResponse(op string, q cq.Query, kind string, res *solver.
 // the fingerprint of (database, query, kind), so isomorphic inputs can be
 // recognized as sharing one plan shape.
 func (s *Server) execExplain(req Request) (*Response, error) {
-	db, q, err := parseInput(req)
+	pdb, q, err := s.sessionFor(req)
 	if err != nil {
 		return nil, err
 	}
 	fpKind, kind, err := fingerprintKind(Request{Op: OpCount, Kind: req.Kind})
 	if err != nil {
 		return nil, err
-	}
-	pdb, err := s.solver.Prepare(db)
-	if err != nil {
-		return nil, badRequest("explain: %v", err)
 	}
 	p, err := pdb.ExplainWith(q, countingKind(kind), s.requestOptions(req, nil))
 	if err != nil {
@@ -481,7 +559,7 @@ func (s *Server) execExplain(req Request) (*Response, error) {
 // they bypass the cache and the single-flight group; the sampling
 // diagnostics the estimator produces ride along in the estimate block.
 func (s *Server) execEstimate(req Request) (*Response, error) {
-	db, q, err := parseInput(req)
+	pdb, q, err := s.sessionFor(req)
 	if err != nil {
 		return nil, err
 	}
@@ -495,10 +573,6 @@ func (s *Server) execEstimate(req Request) (*Response, error) {
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
-	}
-	pdb, err := s.solver.Prepare(db)
-	if err != nil {
-		return nil, &httpError{status: http.StatusUnprocessableEntity, err: err}
 	}
 	res, err := pdb.Estimate(s.root, q, eps, delta, rand.New(rand.NewSource(seed)))
 	if err != nil {
@@ -534,15 +608,11 @@ func (s *Server) StartJob(req Request) (*Job, error) {
 	if req.Op != OpCount {
 		return nil, badRequest("jobs support op %q only, got %q", OpCount, req.Op)
 	}
-	db, q, err := parseInput(req)
+	pdb, q, err := s.sessionFor(req)
 	if err != nil {
 		return nil, err
 	}
 	fpKind, kind, err := fingerprintKind(req)
-	if err != nil {
-		return nil, err
-	}
-	pdb, err := s.solver.Prepare(db)
 	if err != nil {
 		return nil, err
 	}
@@ -590,6 +660,149 @@ func (s *Server) runJob(st *jobState, ctx context.Context, req Request, pdb *sol
 	default:
 		st.finish(JobFailed, nil, err.Error())
 	}
+}
+
+// ---- live mutable session ----
+
+// handleDBLoad replaces the live database: the body is a Request whose
+// Database field holds the textual form (the query field is unused).
+func (s *Server) handleDBLoad(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Database == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "database is required"})
+		return
+	}
+	db, err := core.ParseDatabaseString(req.Database)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "database: " + err.Error()})
+		return
+	}
+	if err := s.LoadDatabase(db); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	writeJSON(w, http.StatusOK, s.databaseStateLocked(true))
+}
+
+func (s *Server) handleDBGet(w http.ResponseWriter, r *http.Request) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.live == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no live database loaded; POST /v1/db first"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.databaseStateLocked(true))
+}
+
+// withLive runs fn on the live session under liveMu, mapping the common
+// error shapes; fn returns the number of effective mutations.
+func (s *Server) withLive(w http.ResponseWriter, r *http.Request, fn func(pdb *solver.PreparedDB, req *MutationRequest) (int, error)) {
+	var req MutationRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.live == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no live database loaded; POST /v1/db first"})
+		return
+	}
+	applied, err := fn(s.live, &req)
+	if err != nil {
+		writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, MutationResponse{
+		Applied: applied,
+		Epoch:   s.live.Epoch(),
+		Facts:   len(s.live.Database().Facts()),
+	})
+}
+
+// parseFacts parses every fact up front so a syntax error in the k-th
+// fact leaves the database untouched.
+func parseFacts(texts []string) ([]core.Fact, error) {
+	if len(texts) == 0 {
+		return nil, badRequest("facts is empty")
+	}
+	facts := make([]core.Fact, len(texts))
+	for i, t := range texts {
+		f, err := core.ParseFact(t)
+		if err != nil {
+			return nil, badRequest("facts[%d]: %v", i, err)
+		}
+		facts[i] = f
+	}
+	return facts, nil
+}
+
+func (s *Server) handleFactsAdd(w http.ResponseWriter, r *http.Request) {
+	s.withLive(w, r, func(pdb *solver.PreparedDB, req *MutationRequest) (int, error) {
+		facts, err := parseFacts(req.Facts)
+		if err != nil {
+			return 0, err
+		}
+		applied := 0
+		before := pdb.Epoch()
+		for i, f := range facts {
+			if err := pdb.AddFact(f.Rel, f.Args...); err != nil {
+				return applied, badRequest("facts[%d]: %v", i, err)
+			}
+		}
+		// AddFact has set semantics: only effective adds advance the epoch.
+		applied = int(pdb.Epoch() - before)
+		return applied, nil
+	})
+}
+
+func (s *Server) handleFactsRemove(w http.ResponseWriter, r *http.Request) {
+	s.withLive(w, r, func(pdb *solver.PreparedDB, req *MutationRequest) (int, error) {
+		facts, err := parseFacts(req.Facts)
+		if err != nil {
+			return 0, err
+		}
+		applied := 0
+		for _, f := range facts {
+			if pdb.RemoveFact(f.Rel, f.Args...) {
+				applied++
+			}
+		}
+		return applied, nil
+	})
+}
+
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	s.withLive(w, r, func(pdb *solver.PreparedDB, req *MutationRequest) (int, error) {
+		if len(req.Values) == 0 {
+			return 0, badRequest("values is empty")
+		}
+		before := pdb.Epoch()
+		if req.Null == "" {
+			if !pdb.Database().Uniform() {
+				return 0, badRequest("null is required on a non-uniform database")
+			}
+			if err := pdb.ExtendUniformDomain(req.Values...); err != nil {
+				return 0, badRequest("domain: %v", err)
+			}
+		} else {
+			v, err := core.ParseValue(req.Null)
+			if err != nil || !v.IsNull() {
+				return 0, badRequest("null: %q is not a null (want \"?N\")", req.Null)
+			}
+			if err := pdb.ExtendDomain(v.NullID(), req.Values...); err != nil {
+				return 0, badRequest("domain: %v", err)
+			}
+		}
+		if pdb.Epoch() > before {
+			return 1, nil
+		}
+		return 0, nil
+	})
 }
 
 // ---- HTTP plumbing ----

@@ -6,6 +6,7 @@ import (
 	"iter"
 	"math/big"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/incompletedb/incompletedb/internal/approx"
@@ -41,21 +42,44 @@ func planCacheKey(canonQ string, kind classify.CountingKind) string {
 // (engines are heavy); a session with endless distinct ad-hoc queries
 // recompiles cold plans instead of growing without limit.
 //
-// A PreparedDB is safe for concurrent use. The database must not be
-// mutated after Prepare: plans and canonical forms embed its facts.
+// A PreparedDB is a *live* session: the database may be mutated after
+// Prepare — through the session's AddFact/RemoveFact/ExtendDomain
+// methods, or directly on the database between calls — and the session
+// incrementally resynchronizes by replaying the database's delta log. A
+// delta invalidates only the cached plans whose query signature
+// intersects the touched relations; other plans have their compiled sweep
+// engines patched in place, and factorized counts are re-derived by
+// re-sweeping only the affected independent component while the others'
+// counts are reused from the session's factor memo (see mutate.go).
+//
+// A PreparedDB is safe for concurrent use, including concurrent
+// mutations through its own methods; mutating the database directly must
+// not race with session calls. Plans handed out by Explain (and carried
+// on Results) are live session state: a later delta may patch their
+// engines and costs in place.
 type PreparedDB struct {
-	s       *Solver
-	db      *core.Database
-	canonDB string
-	total   *big.Int
-	plans   *planCache
+	s     *Solver
+	db    *core.Database
+	plans *planCache
+
+	// mu orders mutations against reads: every read entry point holds the
+	// read lock for its whole execution (after syncing to the database's
+	// version), every mutation and delta replay holds the write lock.
+	mu             sync.RWMutex
+	canonDB        string
+	total          *big.Int
+	appliedVersion uint64
+	wasCodd        bool
+	factors        *factorMemo
 }
 
 // Prepare builds a counting session for db: it validates the database,
 // computes its canonical form (shared by every fingerprint of the
 // session) and its valuation-space size once, and returns a PreparedDB
 // whose plan cache amortizes plan construction and sweep-engine
-// compilation across calls. The database must not be mutated afterwards.
+// compilation across calls. The database may keep changing afterwards —
+// see the mutation methods (AddFact, RemoveFact, ExtendDomain) and the
+// incremental-recount notes on PreparedDB.
 func (s *Solver) Prepare(db *core.Database) (*PreparedDB, error) {
 	if err := db.Validate(); err != nil {
 		return nil, err
@@ -65,11 +89,14 @@ func (s *Solver) Prepare(db *core.Database) (*PreparedDB, error) {
 		return nil, err
 	}
 	return &PreparedDB{
-		s:       s,
-		db:      db,
-		canonDB: fingerprint.Database(db),
-		total:   total,
-		plans:   newPlanCache(),
+		s:              s,
+		db:             db,
+		canonDB:        fingerprint.Database(db),
+		total:          total,
+		plans:          newPlanCache(),
+		appliedVersion: db.Version(),
+		wasCodd:        db.IsCodd(),
+		factors:        newFactorMemo(),
 	}, nil
 }
 
@@ -80,17 +107,27 @@ func (p *PreparedDB) Database() *core.Database { return p.db }
 func (p *PreparedDB) Solver() *Solver { return p.s }
 
 // CanonicalForm returns the canonical (null-renaming-invariant) form of
-// the prepared database, computed once at Prepare time.
-func (p *PreparedDB) CanonicalForm() string { return p.canonDB }
+// the prepared database at its current version.
+func (p *PreparedDB) CanonicalForm() string {
+	p.rlock()
+	defer p.mu.RUnlock()
+	return p.canonDB
+}
 
 // TotalValuations returns the number of valuations of the database (the
-// product of its nulls' domain sizes), computed once at Prepare time.
-func (p *PreparedDB) TotalValuations() *big.Int { return new(big.Int).Set(p.total) }
+// product of its nulls' domain sizes) at its current version.
+func (p *PreparedDB) TotalValuations() *big.Int {
+	p.rlock()
+	defer p.mu.RUnlock()
+	return new(big.Int).Set(p.total)
+}
 
 // Fingerprint returns the cache key of (database, query, kind) without
 // re-canonicalizing the database: identical to the package-level
 // fingerprint of the same triple.
 func (p *PreparedDB) Fingerprint(q cq.Query, kind fingerprint.Kind) string {
+	p.rlock()
+	defer p.mu.RUnlock()
 	return fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kind)
 }
 
@@ -104,9 +141,12 @@ func kindFingerprint(kind classify.CountingKind) fingerprint.Kind {
 
 // Explain returns the compiled plan for (q, kind) under the solver's
 // configuration, building and caching it on first use. The plan is shared
-// and read-only; isomorphic queries (renamed variables, reordered atoms)
-// share one entry.
+// and must be treated as read-only; isomorphic queries (renamed
+// variables, reordered atoms) share one entry. After a database delta the
+// shared plan may be patched in place or rebuilt.
 func (p *PreparedDB) Explain(q cq.Query, kind classify.CountingKind) (*plan.Plan, error) {
+	p.rlock()
+	defer p.mu.RUnlock()
 	return p.planFor(fingerprint.Query(q), q, kind)
 }
 
@@ -118,6 +158,8 @@ func (p *PreparedDB) ExplainWith(q cq.Query, kind classify.CountingKind, opts *c
 	if p.planCacheable(opts) {
 		return p.Explain(q, kind)
 	}
+	p.rlock()
+	defer p.mu.RUnlock()
 	return count.Explain(p.db, q, kind, p.s.countOptions(context.Background(), opts))
 }
 
@@ -133,11 +175,13 @@ func (p *PreparedDB) planCacheable(opts *count.Options) bool {
 // the cache lock: plan construction can compile sweep engines over the
 // whole database, and concurrent first uses of distinct queries should
 // not serialize. A racing duplicate build of the same query is harmless
-// — last writer wins, both plans are equivalent.
+// — last writer wins, both plans are equivalent. Callers hold the
+// session read lock, so the database (and the cache's delta state) is
+// stable underneath the build.
 func (p *PreparedDB) planFor(canonQ string, q cq.Query, kind classify.CountingKind) (*plan.Plan, error) {
 	key := planCacheKey(canonQ, kind)
-	if pl, ok := p.plans.get(key); ok {
-		return pl, nil
+	if e, ok := p.plans.get(key); ok {
+		return e.plan, nil
 	}
 	pl, err := count.Explain(p.db, q, kind, &count.Options{
 		MaxValuations: p.s.cfg.MaxValuations,
@@ -146,7 +190,7 @@ func (p *PreparedDB) planFor(canonQ string, q cq.Query, kind classify.CountingKi
 	if err != nil {
 		return nil, err
 	}
-	p.plans.add(key, pl)
+	p.plans.add(key, newPlanEntry(pl, q, kind))
 	return pl, nil
 }
 
@@ -169,7 +213,16 @@ func (p *PreparedDB) Count(ctx context.Context, q cq.Query, kind classify.Counti
 // call for call.
 func (p *PreparedDB) CountWith(ctx context.Context, q cq.Query, kind classify.CountingKind, opts *count.Options) (*Result, error) {
 	start := time.Now()
+	p.rlock()
+	defer p.mu.RUnlock()
 	eff := p.s.countOptions(ctx, opts)
+	var rec *factorRecorder
+	if p.planCacheable(opts) {
+		// The factor memo only serves and stores counts computed under the
+		// solver's own planning knobs, mirroring the plan cache's rule.
+		rec = &factorRecorder{p: p}
+		eff.FactorMemo = rec
+	}
 	canonQ := fingerprint.Query(q)
 	fp := fingerprint.OfCanonical(p.canonDB, canonQ, kindFingerprint(kind))
 	compute := func() (*Result, error) {
@@ -177,7 +230,7 @@ func (p *PreparedDB) CountWith(ctx context.Context, q cq.Query, kind classify.Co
 		if err != nil {
 			return nil, err
 		}
-		return p.executeCount(pl, eff, fp, start)
+		return p.executeCount(pl, eff, fp, start, rec)
 	}
 	return p.cachedCall(fp, p.s.cacheable(opts), eff, start, compute)
 }
@@ -192,12 +245,16 @@ func (p *PreparedDB) planForOpts(canonQ string, q cq.Query, kind classify.Counti
 }
 
 // executeCount runs a compiled plan and wraps the count in a Result.
-func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, start time.Time) (*Result, error) {
+func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, start time.Time, rec *factorRecorder) (*Result, error) {
 	n, err := count.ExecutePlan(p.db, pl, eff)
 	if err != nil {
 		return nil, err
 	}
 	swept, pruned, multiplier := statsFromPlan(pl)
+	reused := 0
+	if rec != nil {
+		reused = rec.hits
+	}
 	return &Result{
 		Count:       n,
 		Method:      count.Method(pl.Method()),
@@ -207,6 +264,8 @@ func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, 
 			SweptValuations: swept,
 			PrunedNulls:     pruned,
 			PruneMultiplier: multiplier,
+			FactorsReused:   reused,
+			Epoch:           p.appliedVersion,
 			Workers:         effectiveWorkers(eff.Workers),
 			Wall:            time.Since(start),
 		},
@@ -259,6 +318,7 @@ func (p *PreparedDB) annotateHit(res *Result, eff *count.Options, start time.Tim
 	c := res.clone()
 	c.Stats.CacheHit = true
 	c.Stats.Workers = effectiveWorkers(eff.Workers)
+	c.Stats.Epoch = p.appliedVersion
 	c.Stats.Wall = time.Since(start)
 	return c
 }
@@ -270,13 +330,17 @@ func (p *PreparedDB) annotateHit(res *Result, eff *count.Options, start time.Tim
 // this to answer jobs and budget-overridden requests from warm cache
 // entries, like the pre-solver service did.
 func (p *PreparedDB) Cached(q cq.Query, kind fingerprint.Kind) (*Result, bool) {
-	res, ok := p.s.cache.get(p.Fingerprint(q, kind))
+	p.rlock()
+	defer p.mu.RUnlock()
+	fp := fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kind)
+	res, ok := p.s.cache.get(fp)
 	if !ok {
 		return nil, false
 	}
 	p.s.hits.Add(1)
 	c := res.clone()
 	c.Stats.CacheHit = true
+	c.Stats.Epoch = p.appliedVersion
 	return c, true
 }
 
@@ -287,8 +351,10 @@ func (p *PreparedDB) Cached(q cq.Query, kind fingerprint.Kind) (*Result, bool) {
 // their answers are as valid as any.
 func (p *PreparedDB) BruteCount(ctx context.Context, q cq.Query, kind classify.CountingKind, opts *count.Options) (*Result, error) {
 	start := time.Now()
+	p.rlock()
+	defer p.mu.RUnlock()
 	eff := p.s.countOptions(ctx, opts)
-	fp := p.Fingerprint(q, kindFingerprint(kind))
+	fp := fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kindFingerprint(kind))
 	pl, err := plan.BruteOnly(p.db, q, kind, &plan.Options{
 		MaxValuations: eff.MaxValuations,
 		MaxCylinders:  eff.MaxCylinders,
@@ -296,7 +362,7 @@ func (p *PreparedDB) BruteCount(ctx context.Context, q cq.Query, kind classify.C
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.executeCount(pl, eff, fp, start)
+	res, err := p.executeCount(pl, eff, fp, start, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +397,8 @@ func (p *PreparedDB) PossibleWith(ctx context.Context, q cq.Query, opts *count.O
 // decide is the shared implementation of the cached decision problems.
 func (p *PreparedDB) decide(ctx context.Context, q cq.Query, opts *count.Options, kind fingerprint.Kind, run func(*core.Database, cq.Query, *count.Options) (bool, error)) (*Result, error) {
 	start := time.Now()
+	p.rlock()
+	defer p.mu.RUnlock()
 	eff := p.s.countOptions(ctx, opts)
 	fp := fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kind)
 	compute := func() (*Result, error) {
@@ -343,6 +411,7 @@ func (p *PreparedDB) decide(ctx context.Context, q cq.Query, opts *count.Options
 			Method:      methodEarlyExit,
 			Fingerprint: fp,
 			Stats: Stats{
+				Epoch:   p.appliedVersion,
 				Workers: effectiveWorkers(eff.Workers),
 				Wall:    time.Since(start),
 			},
@@ -375,6 +444,8 @@ func (p *PreparedDB) Mu(ctx context.Context, q cq.Query, k int) (*MuResult, erro
 
 // MuWith is Mu with per-call runtime options (see CountWith).
 func (p *PreparedDB) MuWith(ctx context.Context, q cq.Query, k int, opts *count.Options) (*MuResult, error) {
+	p.rlock()
+	defer p.mu.RUnlock()
 	return p.s.Mu(ctx, p.db, q, k, opts)
 }
 
@@ -414,6 +485,8 @@ func (s *Solver) Mu(ctx context.Context, db *core.Database, q cq.Query, k int, o
 // instead of being discarded.
 func (p *PreparedDB) Estimate(ctx context.Context, q cq.Query, eps, delta float64, r *rand.Rand) (*EstimateResult, error) {
 	start := time.Now()
+	p.rlock()
+	defer p.mu.RUnlock()
 	kl, err := approx.KarpLubyValuationsContext(ctx, p.db, q, eps, delta, r)
 	if err != nil {
 		return nil, err
@@ -438,6 +511,8 @@ func (p *PreparedDB) Estimate(ctx context.Context, q cq.Query, eps, delta float6
 // MonteCarlo estimates #Val(q) by uniform sampling (unbiased but without
 // FPRAS guarantees), reporting the full sampling tallies.
 func (p *PreparedDB) MonteCarlo(ctx context.Context, q cq.Query, samples int, r *rand.Rand) (*MonteCarloResult, error) {
+	p.rlock()
+	defer p.mu.RUnlock()
 	return approx.MonteCarloValuationsContext(ctx, p.db, q, samples, r)
 }
 
@@ -446,6 +521,8 @@ func (p *PreparedDB) MonteCarlo(ctx context.Context, q cq.Query, samples int, r 
 // approximation guarantee (none is possible unless NP = RP; Theorems
 // 5.5/5.7 of the paper) — together with the sampling tallies.
 func (p *PreparedDB) CompletionsLowerBound(ctx context.Context, q cq.Query, samples int, r *rand.Rand) (*LowerBoundResult, error) {
+	p.rlock()
+	defer p.mu.RUnlock()
 	return approx.CompletionsLowerBoundContext(ctx, p.db, q, samples, r)
 }
 
@@ -468,6 +545,8 @@ func (p *PreparedDB) Completions(ctx context.Context, q cq.Query) iter.Seq2[*cor
 // CompletionsWith is Completions with per-call runtime options.
 func (p *PreparedDB) CompletionsWith(ctx context.Context, q cq.Query, opts *count.Options) iter.Seq2[*core.Instance, error] {
 	return func(yield func(*core.Instance, error) bool) {
+		p.rlock()
+		defer p.mu.RUnlock()
 		eff := p.s.countOptions(ctx, opts)
 		stopped := false
 		err := count.StreamCompletions(p.db, q, eff, func(inst *core.Instance) bool {

@@ -69,6 +69,16 @@ type Stats struct {
 	// Plan, Method and sweep stats describe the FIRST computation's route.
 	CacheHit bool
 
+	// FactorsReused is how many independent components of a factorized
+	// plan were served from the session's factor memo instead of being
+	// re-swept — the incremental-recount dividend: after a delta touching
+	// one component, the other components' counts are reused.
+	FactorsReused int
+
+	// Epoch is the database version (core.Database.Version) the session
+	// had applied when the call ran — every mutation bumps it.
+	Epoch uint64
+
 	// Workers is the worker-pool width the call ran (or would run) its
 	// sweeps with.
 	Workers int

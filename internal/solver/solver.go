@@ -82,6 +82,9 @@ type Solver struct {
 	flight *flightGroup
 
 	hits, misses, computations, shared atomic.Int64
+
+	// Delta-maintenance counters (the incremental-recount path).
+	mutations, plansInvalidated, plansPatched, factorsReused atomic.Int64
 }
 
 // NewSolver returns a Solver configured by the given options.
@@ -118,16 +121,33 @@ type Metrics struct {
 	// FlightShared counts calls that attached to an identical in-flight
 	// computation instead of starting their own.
 	FlightShared int64
+	// Mutations counts database deltas applied through prepared sessions
+	// (facts added or removed, domains extended).
+	Mutations int64
+	// PlansInvalidated counts cached plans dropped by delta invalidation:
+	// the delta touched a relation in the plan's signature, or the plan's
+	// payloads could not be maintained in place.
+	PlansInvalidated int64
+	// PlansPatched counts cached plans whose compiled sweep engines were
+	// patched in place after a delta instead of being recompiled.
+	PlansPatched int64
+	// FactorsReused counts independent components of factorized plans
+	// served from session factor memos instead of being re-swept.
+	FactorsReused int64
 }
 
 // Metrics returns a snapshot of the solver's counters.
 func (s *Solver) Metrics() Metrics {
 	return Metrics{
-		CacheEntries: s.cache.len(),
-		CacheHits:    s.hits.Load(),
-		CacheMisses:  s.misses.Load(),
-		Computations: s.computations.Load(),
-		FlightShared: s.shared.Load(),
+		CacheEntries:     s.cache.len(),
+		CacheHits:        s.hits.Load(),
+		CacheMisses:      s.misses.Load(),
+		Computations:     s.computations.Load(),
+		FlightShared:     s.shared.Load(),
+		Mutations:        s.mutations.Load(),
+		PlansInvalidated: s.plansInvalidated.Load(),
+		PlansPatched:     s.plansPatched.Load(),
+		FactorsReused:    s.factorsReused.Load(),
 	}
 }
 

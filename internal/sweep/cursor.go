@@ -109,6 +109,9 @@ func (c *Cursor) rebuild() {
 		c.mult.reset()
 		c.sum = Hash128{}
 		for fi := range e.factRel {
+			if e.dead != nil && e.dead[fi] {
+				continue
+			}
 			h := factHash(e.factRel[fi], e.factArgs(c.args, int32(fi)))
 			c.factHash[fi] = h
 			c.addFactHash(h)
@@ -224,12 +227,17 @@ func (c *Cursor) AppendCanonical(dst []uint32) []uint32 {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
-	for i, fi := range ids {
-		if i > 0 && c.factEqual(ids[i-1], fi) {
+	last := int32(-1)
+	for _, fi := range ids {
+		if e.dead != nil && e.dead[fi] {
+			continue
+		}
+		if last >= 0 && c.factEqual(last, fi) {
 			continue
 		}
 		dst = append(dst, e.factRel[fi])
 		dst = append(dst, e.factArgs(c.args, fi)...)
+		last = fi
 	}
 	return dst
 }
@@ -270,6 +278,9 @@ func (c *Cursor) Instance() *core.Instance {
 	e := c.eng
 	inst := core.NewInstance()
 	for fi := range e.factRel {
+		if e.dead != nil && e.dead[fi] {
+			continue
+		}
 		args := e.factArgs(c.args, int32(fi))
 		if cap(c.strArgs) < len(args) {
 			c.strArgs = make([]string, len(args))

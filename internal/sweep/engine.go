@@ -68,8 +68,10 @@ type digit struct {
 	dirty bool
 }
 
-// Engine is a database compiled for sweeping, read-only after Compile and
-// safe for concurrent use by any number of Cursors.
+// Engine is a database compiled for sweeping, safe for concurrent use by
+// any number of Cursors. It is read-only except for Patch, which applies a
+// database delta in place; Patch must not run concurrently with cursor use,
+// and it invalidates every existing cursor.
 type Engine struct {
 	mode Mode
 
@@ -77,7 +79,7 @@ type Engine struct {
 	rels   *Interner // relation names
 
 	relArity []int32
-	relFacts [][]int32 // fact indices grouped per relation ID
+	relFacts [][]int32 // live fact indices grouped per relation ID
 
 	factRel  []uint32
 	factOff  []int32  // fact i's args live at [factOff[i], factOff[i+1])
@@ -91,6 +93,16 @@ type Engine struct {
 	multiplier *big.Int // product of the pruned nulls' domain sizes
 	total      *big.Int // full valuation-space size = size × multiplier
 	pruned     int      // number of pruned (irrelevant) nulls
+
+	// Patch support (see patch.go). The arena is append-only: removed facts
+	// are tombstoned in dead rather than spliced out, so fact indices — and
+	// with them every digit's slots — stay stable.
+	factIdx     map[string]int32     // live fact Key → arena index
+	relevant    []bool               // per relation ID: query mentions it
+	queryRels   map[string]bool      // sig(q) by name; nil when opaque
+	prunedNulls map[core.NullID]bool // nulls factored out of the sweep
+	prune       bool                 // relevant-null pruning is active
+	dead        []bool               // tombstones; nil until first removal
 }
 
 // Compile builds the sweep engine for db and q under the given mode. It
@@ -100,15 +112,17 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		mode:   mode,
-		values: NewInterner(),
-		rels:   NewInterner(),
+		mode:        mode,
+		values:      NewInterner(),
+		rels:        NewInterner(),
+		prunedNulls: make(map[core.NullID]bool),
 	}
 
 	facts := db.Facts()
 	nullSlots := make(map[core.NullID][]slot)
 	e.factRel = make([]uint32, len(facts))
 	e.factOff = make([]int32, len(facts)+1)
+	e.factIdx = make(map[string]int32, len(facts))
 	for i, f := range facts {
 		rid := e.rels.Intern(f.Rel)
 		if int(rid) == len(e.relArity) {
@@ -118,6 +132,7 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 		e.factRel[i] = rid
 		e.factOff[i] = int32(len(e.tmplArgs))
 		e.relFacts[rid] = append(e.relFacts[rid], int32(i))
+		e.factIdx[f.Key()] = int32(i)
 		for p, a := range f.Args {
 			if a.IsNull() {
 				e.tmplArgs = append(e.tmplArgs, 0)
@@ -130,40 +145,42 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 	e.factOff[len(facts)] = int32(len(e.tmplArgs))
 
 	e.prog = compileQuery(e, q)
+	e.queryRels, _ = cq.Signature(q)
 
 	// Per-relation relevance: a relation the query mentions (or every
 	// relation, for opaque queries whose signature is unknown).
-	relevantRel := make([]bool, e.rels.Len())
+	e.relevant = make([]bool, e.rels.Len())
 	if e.prog.opaque != nil {
-		for i := range relevantRel {
-			relevantRel[i] = true
+		for i := range e.relevant {
+			e.relevant[i] = true
 		}
 	} else {
 		for _, d := range e.prog.disjuncts {
 			for _, a := range d.atoms {
 				// Atoms over relations the database does not have carry a
 				// sentinel ID; they have no facts to mark relevant.
-				if int(a.rel) < len(relevantRel) {
-					relevantRel[a.rel] = true
+				if int(a.rel) < len(e.relevant) {
+					e.relevant[a.rel] = true
 				}
 			}
 		}
 	}
 
-	prune := mode == ModeValuations && e.prog.opaque == nil
+	e.prune = mode == ModeValuations && e.prog.opaque == nil
 	e.size, e.multiplier = big.NewInt(1), big.NewInt(1)
 	for _, n := range db.Nulls() {
 		dom := db.Domain(n)
 		slots := nullSlots[n]
 		dirty := false
 		for _, s := range slots {
-			if relevantRel[e.factRel[s.fact]] {
+			if e.relevant[e.factRel[s.fact]] {
 				dirty = true
 				break
 			}
 		}
-		if prune && !dirty {
+		if e.prune && !dirty {
 			e.multiplier.Mul(e.multiplier, big.NewInt(int64(len(dom))))
+			e.prunedNulls[n] = true
 			e.pruned++
 			continue
 		}
@@ -198,7 +215,8 @@ func (e *Engine) Pruned() int { return e.pruned }
 // is re-checked on a materialized instance at every dirty step.
 func (e *Engine) Opaque() bool { return e.prog.opaque != nil }
 
-// NumFacts returns the number of facts in the arena.
+// NumFacts returns the number of arena entries, including facts tombstoned
+// by Patch.
 func (e *Engine) NumFacts() int { return len(e.factRel) }
 
 func (e *Engine) factArgs(args []uint32, fi int32) []uint32 {

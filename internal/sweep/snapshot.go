@@ -71,6 +71,9 @@ func (c *Cursor) EqualsSnapshot(s *Snapshot) bool {
 	}
 	matched := 0
 	for fi := range e.factRel {
+		if e.dead != nil && e.dead[fi] {
+			continue
+		}
 		h := c.factHash[fi]
 		args := e.factArgs(c.args, int32(fi))
 		found := false

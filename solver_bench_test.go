@@ -78,6 +78,111 @@ func BenchmarkManyQueriesPrepared(b *testing.B) {
 	}
 }
 
+// factoredComponentsDB builds a database of len(sizes) independent
+// components: component i has its own relation Ci over its own chain of
+// sizes[i] nulls (domains {a, b, c}), so the conjunction
+// C0(x0, x0) ∧ C1(x1, x1) ∧ … factorizes into len(sizes) independent
+// subqueries, each counted over its own component only.
+func factoredComponentsDB(sizes []int) *Database {
+	db := NewDatabase()
+	next := NullID(1)
+	for c, nullsPer := range sizes {
+		rel := fmt.Sprintf("C%d", c)
+		first := next
+		for k := 0; k < nullsPer; k++ {
+			db.SetDomain(next+NullID(k), []string{"a", "b", "c"})
+		}
+		for k := 0; k+1 < nullsPer; k++ {
+			db.MustAddFact(rel, Null(next+NullID(k)), Null(next+NullID(k+1)))
+		}
+		db.MustAddFact(rel, Null(next+NullID(nullsPer-1)), Null(first))
+		next += NullID(nullsPer)
+	}
+	return db
+}
+
+func factoredComponentsQuery(comps int) Query {
+	q := ""
+	for c := 0; c < comps; c++ {
+		if c > 0 {
+			q += " ∧ "
+		}
+		q += fmt.Sprintf("C%d(x%d, x%d)", c, c, c)
+	}
+	return MustParseQuery(q)
+}
+
+// incrementalRecountSizes is the workload of BenchmarkIncrementalRecount:
+// component C0 is the small, write-hot component the deltas land on;
+// C1…C11 are an order of magnitude heavier to recount. A recount after a
+// C0 delta should pay for C0 only.
+var incrementalRecountSizes = []int{4, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}
+
+// BenchmarkIncrementalRecount is the headline mutable-database number:
+// after a single-fact delta confined to one of 12 independent
+// components, "delta" re-counts through the live session — re-deriving
+// only the touched component and serving the other 11 from the factor
+// memo — while "full" re-prepares the mutated database from scratch and
+// re-counts every component. Each iteration adds a distinct constant-only
+// fact (and removes it again, so state stays bounded); the distinct
+// constants give every recount a fresh fingerprint, so neither path is
+// ever served by the result cache.
+func BenchmarkIncrementalRecount(b *testing.B) {
+	comps := len(incrementalRecountSizes)
+	q := factoredComponentsQuery(comps)
+	ctx := context.Background()
+
+	b.Run("delta", func(b *testing.B) {
+		pdb, err := NewSolver().Prepare(factoredComponentsDB(incrementalRecountSizes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the plan cache and factor memo: the steady state of a live
+		// session.
+		if _, err := pdb.Count(ctx, q, Valuations); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := Const(fmt.Sprintf("k%d", i))
+			if err := pdb.AddFact("C0", c, c); err != nil {
+				b.Fatal(err)
+			}
+			res, err := pdb.Count(ctx, q, Valuations)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.CacheHit {
+				b.Fatal("delta recount must not be a result-cache hit")
+			}
+			if res.Stats.FactorsReused < comps-1 {
+				b.Fatalf("recount re-derived untouched components: reused %d factors, want %d",
+					res.Stats.FactorsReused, comps-1)
+			}
+			pdb.RemoveFact("C0", c, c)
+		}
+	})
+
+	b.Run("full", func(b *testing.B) {
+		db := factoredComponentsDB(incrementalRecountSizes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := Const(fmt.Sprintf("k%d", i))
+			db.MustAddFact("C0", c, c)
+			pdb, err := NewSolver().Prepare(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pdb.Count(ctx, q, Valuations); err != nil {
+				b.Fatal(err)
+			}
+			db.RemoveFact("C0", Const(fmt.Sprintf("k%d", i)), Const(fmt.Sprintf("k%d", i)))
+		}
+	})
+}
+
 // BenchmarkManyQueriesPreparedNoCache isolates the plan-cache win from
 // the result cache: every call re-executes its plan, but planning and
 // engine compilation are still amortized by the session.
