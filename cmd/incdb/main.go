@@ -46,6 +46,8 @@ import (
 	incdb "github.com/incompletedb/incompletedb"
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/experiments"
+	"github.com/incompletedb/incompletedb/internal/jobs"
+	"github.com/incompletedb/incompletedb/internal/loadgen"
 	"github.com/incompletedb/incompletedb/internal/server"
 )
 
@@ -72,6 +74,8 @@ func main() {
 		err = cmdEstimate(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(ctx, os.Args[2:])
 	case "mutate":
 		err = cmdMutate(ctx, os.Args[2:])
 	case "experiments":
@@ -101,7 +105,13 @@ commands:
                                  (-kind val|comp, -max N, -max-cylinders N, -timeout D)
   estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed, -timeout D)
   serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers,
-                                 -jobs, -db FILE preloads the live mutable session)
+                                 -jobs, -db FILE preloads the live mutable session;
+                                 -jobdir DIR makes jobs durable: checkpointed sweeps
+                                 resume across restarts; -job-ttl, -max-concurrent-jobs,
+                                 -max-queued-jobs, -checkpoint-interval tune the queue)
+  loadgen -addr URL              drive a running server with a weighted operation mix and
+                                 report throughput + latency histograms (-duration, -workers,
+                                 -profile "count=4,jobs=1", -anchor N, -json, -out FILE, -check)
   mutate -addr URL               mutate a running server's live session in command-line order
                                  (-load FILE, -add FACT, -remove FACT, -extend "?1 a b", -show)
   experiments [-quick] [-seed N] run the paper-reproduction experiment suite
@@ -383,15 +393,32 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxVals := fs.Int64("max", count.DefaultMaxValuations, "per-request valuation budget for brute-force sweeps")
 	maxCyl := fs.Int("max-cylinders", 0, "per-request cap on cylinder inclusion–exclusion (0 = default 18, negative disables)")
 	workers := fs.Int("workers", 0, "worker pool per sweep (0 = one per CPU)")
-	jobs := fs.Int("jobs", server.DefaultMaxJobs, "maximum retained (terminal) jobs")
+	maxJobs := fs.Int("jobs", server.DefaultMaxJobs, "maximum retained (terminal) jobs")
+	jobDir := fs.String("jobdir", "", "directory persisting job records; killed/restarted servers resume checkpointed sweeps from it")
+	jobTTL := fs.Duration("job-ttl", jobs.DefaultTTL, "how long finished jobs are retained before eviction")
+	maxConcurrent := fs.Int("max-concurrent-jobs", jobs.DefaultMaxConcurrent, "async jobs sweeping at once; excess admissions queue")
+	maxQueued := fs.Int("max-queued-jobs", jobs.DefaultMaxQueue, "admission queue bound; submissions beyond it get HTTP 429")
+	ckptInterval := fs.Duration("checkpoint-interval", jobs.DefaultPersistInterval, "how often running jobs' sweep checkpoints are persisted")
 	fs.Parse(args)
-	srv := server.New(server.Config{
-		CacheSize:     *cacheSize,
-		MaxValuations: *maxVals,
-		MaxCylinders:  *maxCyl,
-		Workers:       *workers,
-		MaxJobs:       *jobs,
-	})
+	cfg := server.Config{
+		CacheSize:          *cacheSize,
+		MaxValuations:      *maxVals,
+		MaxCylinders:       *maxCyl,
+		Workers:            *workers,
+		MaxJobs:            *maxJobs,
+		MaxConcurrentJobs:  *maxConcurrent,
+		MaxQueuedJobs:      *maxQueued,
+		JobTTL:             *jobTTL,
+		JobPersistInterval: *ckptInterval,
+	}
+	if *jobDir != "" {
+		store, err := jobs.NewFileStore(*jobDir)
+		if err != nil {
+			return err
+		}
+		cfg.JobStore = store
+	}
+	srv := server.New(cfg)
 	if *dbPath != "" {
 		db, err := loadDB(*dbPath)
 		if err != nil {
@@ -402,9 +429,105 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "incdb: live session loaded from %s (%d facts)\n", *dbPath, len(db.Facts()))
 	}
+	// Recovery runs after the live database is loaded: a recovered job
+	// whose request targets the live session needs it in place.
+	if *jobDir != "" {
+		resumed, err := srv.RecoverJobs()
+		if err != nil {
+			return fmt.Errorf("serve: recover jobs from %s: %w", *jobDir, err)
+		}
+		if resumed > 0 {
+			fmt.Fprintf(os.Stderr, "incdb: resumed %d checkpointed job(s) from %s\n", resumed, *jobDir)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "incdb: serving on http://%s (cache %d entries, budget %d valuations)\n",
 		*addr, *cacheSize, *maxVals)
 	return srv.ListenAndServe(ctx, *addr)
+}
+
+// cmdLoadgen drives a running incdb serve with the load harness and
+// prints (or writes) its report.
+func cmdLoadgen(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8333", "base URL of a running incdb serve")
+	duration := fs.Duration("duration", 15*time.Second, "how long to generate load")
+	warmup := fs.Duration("warmup", time.Second, "initial unrecorded slice of the run (negative disables)")
+	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
+	profile := fs.String("profile", "", `operation mix as "op=weight,..." over classify, count, estimate, mutate, jobs (default "count=4,classify=2,estimate=1,mutate=1,jobs=1")`)
+	maxOps := fs.Int64("max-ops", 0, "stop after this many recorded operations (0 = unlimited)")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	anchor := fs.Int64("anchor", 0, "also run one long checkpointed brute-force job of this sweep size (e.g. 1073741824), cancelled after the run")
+	asJSON := fs.Bool("json", false, "print the report as JSON instead of text")
+	out := fs.String("out", "", "also write the JSON report to this file")
+	check := fs.Bool("check", false, "exit non-zero if the run recorded errors or no operations")
+	fs.Parse(args)
+
+	cfg := loadgen.Config{
+		BaseURL:          *addr,
+		Workers:          *workers,
+		Duration:         *duration,
+		Warmup:           *warmup,
+		MaxOps:           *maxOps,
+		Seed:             *seed,
+		AnchorValuations: *anchor,
+	}
+	if *profile != "" {
+		p, err := parseProfile(*profile)
+		if err != nil {
+			return err
+		}
+		cfg.Profile = p
+	}
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		if err := printJSON(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if *check {
+		if rep.Ops == 0 {
+			return errors.New("loadgen: check failed: no operations were recorded")
+		}
+		if rep.Errors > 0 {
+			return fmt.Errorf("loadgen: check failed: %d errors (samples: %s)", rep.Errors, strings.Join(rep.ErrorSamples, "; "))
+		}
+	}
+	return nil
+}
+
+// parseProfile parses "count=4,jobs=1" into operation weights.
+func parseProfile(s string) (map[string]int, error) {
+	p := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: bad profile entry %q (want op=weight)", part)
+		}
+		var weight int
+		if _, err := fmt.Sscanf(w, "%d", &weight); err != nil || weight < 0 {
+			return nil, fmt.Errorf("loadgen: bad weight in %q", part)
+		}
+		p[strings.TrimSpace(op)] = weight
+	}
+	return p, nil
 }
 
 // mutOp is one ordered live-session write from the mutate command line;

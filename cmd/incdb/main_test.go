@@ -476,6 +476,40 @@ func TestCmdServePreload(t *testing.T) {
 	}
 }
 
+func TestParseProfile(t *testing.T) {
+	p, err := parseProfile("count=4, classify=2,jobs=1,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"count": 4, "classify": 2, "jobs": 1}
+	if len(p) != len(want) {
+		t.Fatalf("parseProfile = %v, want %v", p, want)
+	}
+	for op, w := range want {
+		if p[op] != w {
+			t.Errorf("weight[%s] = %d, want %d", op, p[op], w)
+		}
+	}
+	for _, bad := range []string{"count", "count=", "count=x", "count=-1"} {
+		if _, err := parseProfile(bad); err == nil {
+			t.Errorf("parseProfile(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCmdLoadgenCheck: -check turns a run against a dead address into a
+// command error instead of a report full of failures.
+func TestCmdLoadgenCheck(t *testing.T) {
+	if err := cmdLoadgen(context.Background(), []string{
+		"-addr", "http://127.0.0.1:1", "-duration", "100ms", "-warmup", "-1ms", "-check",
+	}); err == nil {
+		t.Error("loadgen -check against a dead server succeeded")
+	}
+	if err := cmdLoadgen(context.Background(), []string{"-profile", "bogus"}); err == nil {
+		t.Error("malformed -profile accepted")
+	}
+}
+
 func TestCmdExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite skipped in -short mode")

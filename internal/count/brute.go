@@ -75,6 +75,15 @@ type Options struct {
 	// shards partition it into near-equal contiguous slices.
 	Progress func(done, total int)
 
+	// Checkpoint, when non-nil, makes the brute-force sweep resumable:
+	// shards periodically publish their odometer position and partial
+	// accumulators into it, Snapshot serializes the state, and a new
+	// sweep created with the snapshot as its resume state continues where
+	// the old one stopped, bit-identical to an uninterrupted run. The
+	// Checkpointer binds to the first sweep node executed under these
+	// options; see NewCheckpointer.
+	Checkpoint *Checkpointer
+
 	// FactorMemo, when non-nil, caches the counts of the independent
 	// components of factorized plans (OpFactor/OpFactorUnion children)
 	// across plan executions: the executor consults it before computing a
@@ -143,6 +152,13 @@ func (o *Options) progress() func(done, total int) {
 	return o.Progress
 }
 
+func (o *Options) checkpointer() *Checkpointer {
+	if o == nil {
+		return nil
+	}
+	return o.Checkpoint
+}
+
 // withRejected returns a copy of o carrying the dispatcher's notes on why
 // the fast paths were not applicable.
 func (o *Options) withRejected(notes []string) *Options {
@@ -205,6 +221,9 @@ func BruteForceValuations(db *core.Database, q cq.Query, opts *Options) (*big.In
 // compiled (and guarded) engine — the entry point of the plan executor,
 // whose sweep nodes carry the engine the planner compiled.
 func sweepValuationsOnEngine(eng *sweep.Engine, opts *Options) (*big.Int, error) {
+	if ck := opts.checkpointer(); ck != nil && eng.Size().Sign() > 0 && ck.acquire() {
+		return sweepValuationsCheckpointed(eng, opts, ck)
+	}
 	shards := shardCount(eng.Size(), opts)
 	counts := make([]int64, shards)
 	err := sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
@@ -216,12 +235,58 @@ func sweepValuationsOnEngine(eng *sweep.Engine, opts *Options) (*big.Int, error)
 	if err != nil {
 		return nil, err
 	}
+	return mulMultiplier(counts, eng), nil
+}
+
+// mulMultiplier folds per-shard tallies and applies the engine's
+// pruned-null multiplier.
+func mulMultiplier(counts []int64, eng *sweep.Engine) *big.Int {
 	total := big.NewInt(0)
 	for _, c := range counts {
 		total.Add(total, big.NewInt(c))
 	}
 	total.Mul(total, eng.Multiplier())
-	return total, nil
+	return total
+}
+
+// sweepValuationsCheckpointed is the resumable variant: shard geometry
+// and partial tallies come from the Checkpointer (restored from its
+// resume state, fresh otherwise), every shard publishes its position and
+// tally each stride, and — crucially — the final state is flushed even
+// when the sweep is cancelled, so a drain-and-checkpoint shutdown loses
+// no visited valuation. A shard stops only between visits, so the flush
+// positions are exact.
+func sweepValuationsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpointer) (*big.Int, error) {
+	st := ck.begin(eng, opts, false)
+	counts := st.counts
+	visited := make([]int64, len(st.starts))
+	sincePub := make([]int64, len(st.starts))
+	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+		if cur.Matches() {
+			counts[shard]++
+		}
+		visited[shard]++
+		if sincePub[shard]++; sincePub[shard] >= ck.stride {
+			sincePub[shard] = 0
+			ck.publish(shard, shardPos(st.starts[shard], visited[shard]), counts[shard], nil)
+		}
+		return true
+	})
+	// Flush every shard's exact final state (all shard goroutines have
+	// stopped): on success this records completion, on cancellation the
+	// freshest resumable position.
+	for i := range visited {
+		ck.publish(i, shardPos(st.starts[i], visited[i]), counts[i], nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return mulMultiplier(counts, eng), nil
+}
+
+// shardPos returns start+visited: the shard's next unvisited index.
+func shardPos(start *big.Int, visited int64) *big.Int {
+	return new(big.Int).Add(start, big.NewInt(visited))
 }
 
 // BruteForceCompletions counts the distinct completions ν(db) of db with
@@ -290,6 +355,9 @@ func bruteCompletionSweep(db *core.Database, q cq.Query, opts *Options, keepInst
 
 // completionSweepOnEngine is bruteCompletionSweep after compilation.
 func completionSweepOnEngine(eng *sweep.Engine, opts *Options, keepInstances bool) (*completionShard, error) {
+	if ck := opts.checkpointer(); ck != nil && !keepInstances && eng.Size().Sign() > 0 && ck.acquire() {
+		return sweepCompletionsCheckpointed(eng, opts, ck)
+	}
 	shards := shardCount(eng.Size(), opts)
 	perShard := make([]*completionShard, shards)
 	for i := range perShard {
@@ -299,6 +367,41 @@ func completionSweepOnEngine(eng *sweep.Engine, opts *Options, keepInstances boo
 		perShard[shard].visit(cur)
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeCompletionShards(perShard), nil
+}
+
+// sweepCompletionsCheckpointed is the resumable completion-dedup sweep:
+// each shard's dedup table is seeded from the restored checkpoint entries
+// (so completions first seen before the interruption are neither
+// re-evaluated nor double-counted), and each stride the shard publishes
+// its position together with the entries first seen since the previous
+// publish. The final flush after the sweep stops — success or
+// cancellation — captures the exact frontier. Instances are never
+// retained on this path (EnumerateCompletions runs un-checkpointed).
+func sweepCompletionsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpointer) (*completionShard, error) {
+	st := ck.begin(eng, opts, true)
+	perShard := make([]*completionShard, len(st.starts))
+	for i := range perShard {
+		perShard[i] = newCompletionShard(false)
+		perShard[i].restore(st.entriesAt(i))
+	}
+	visited := make([]int64, len(st.starts))
+	sincePub := make([]int64, len(st.starts))
+	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+		perShard[shard].visit(cur)
+		visited[shard]++
+		if sincePub[shard]++; sincePub[shard] >= ck.stride {
+			sincePub[shard] = 0
+			ck.publish(shard, shardPos(st.starts[shard], visited[shard]), 0, perShard[shard].drainPending())
+		}
+		return true
+	})
+	for i := range visited {
+		ck.publish(i, shardPos(st.starts[i], visited[i]), 0, perShard[i].drainPending())
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,274 @@
+package count
+
+import (
+	"math/big"
+	"sync"
+
+	"github.com/incompletedb/incompletedb/internal/sweep"
+)
+
+// Checkpointing makes a sharded brute-force sweep resumable: each shard
+// periodically publishes its odometer position and partial accumulators
+// (valuation count, completion-dedup entries) into a Checkpointer, whose
+// Snapshot can be persisted and later handed to a fresh sweep as the
+// resume state. A resumed sweep restores every shard's position and
+// accumulator and continues; because shards partition the index space
+// contiguously and per-shard state is only ever published at exact visit
+// boundaries, the final merged result is bit-identical to an
+// uninterrupted run.
+
+// DefaultCheckpointStride is the default number of valuations a shard
+// visits between publishing its state into the Checkpointer. Publishing
+// is cheap for valuation counts (one big.Int add and a string render) and
+// O(new distinct completions) for completion sweeps, so the stride mainly
+// bounds how much work a crash can lose per shard.
+const DefaultCheckpointStride = 1 << 16
+
+// SweepCheckpoint is the serializable resume state of one sharded sweep.
+// All positions are decimal big integers so astronomically large index
+// spaces survive JSON.
+type SweepCheckpoint struct {
+	// Space is the size of the engine's enumerated space (after
+	// relevant-null pruning) the checkpoint was taken against. A resume
+	// against an engine of a different size discards the checkpoint.
+	Space string `json:"space"`
+
+	// Completions reports whether the checkpoint carries completion-dedup
+	// state (a #Comp sweep) rather than a plain valuation count.
+	Completions bool `json:"completions,omitempty"`
+
+	// Shards is the per-shard resume state, in shard (= index) order.
+	Shards []ShardCheckpoint `json:"shards"`
+}
+
+// ShardCheckpoint is the resume state of one contiguous shard: its
+// interval, the next unvisited index, and the accumulator over [Lo, Next).
+type ShardCheckpoint struct {
+	Lo   string `json:"lo"`
+	Next string `json:"next"`
+	Hi   string `json:"hi"`
+
+	// Count is the shard's satisfying-valuation tally over [Lo, Next)
+	// (valuation sweeps only; completion sweeps keep their tally in the
+	// entries below).
+	Count int64 `json:"count,omitempty"`
+
+	// Entries is the shard's completion-dedup state: every distinct
+	// completion seen over [Lo, Next), in first-seen order.
+	Entries []CompletionRecord `json:"entries,omitempty"`
+}
+
+// CompletionRecord is one distinct completion in serializable form: its
+// 128-bit set hash, its exact canonical encoding over the engine's
+// interned IDs (deterministic for a given database), and its query
+// verdict.
+type CompletionRecord struct {
+	HashLo    uint64   `json:"hlo"`
+	HashHi    uint64   `json:"hhi"`
+	Canonical []uint32 `json:"canonical"`
+	Sat       bool     `json:"sat,omitempty"`
+}
+
+// Checkpointer collects the live resume state of one sweep. Create one
+// with NewCheckpointer (optionally seeding it with a previous Snapshot),
+// set it on Options.Checkpoint, and call Snapshot whenever a consistent
+// checkpoint is needed — including after the sweep was cancelled, when
+// the final state (fresher than any stride boundary) has been flushed.
+//
+// A Checkpointer binds to the first sweep that runs under its Options: in
+// a plan with several sweep nodes only the first is checkpointed and
+// resumed (deterministically the same one across runs); the others
+// recompute. A Checkpointer must not be reused across executions.
+type Checkpointer struct {
+	stride int64
+
+	mu       sync.Mutex
+	resume   *SweepCheckpoint
+	state    *SweepCheckpoint
+	acquired bool
+
+	// onPublish, when set (tests), runs after every publish with the
+	// number of publishes so far, still under mu.
+	onPublish func(n int)
+	publishes int
+}
+
+// NewCheckpointer returns a Checkpointer publishing shard state every
+// stride valuations (0 means DefaultCheckpointStride). resume, when
+// non-nil, is a Snapshot of a previous run's Checkpointer over the same
+// database and query: the sweep restores it and continues. An
+// incompatible resume state (different space size, malformed positions or
+// encodings) is discarded and the sweep starts from scratch — still
+// correct, just not resumed.
+func NewCheckpointer(stride int64, resume *SweepCheckpoint) *Checkpointer {
+	if stride <= 0 {
+		stride = DefaultCheckpointStride
+	}
+	return &Checkpointer{stride: stride, resume: resume}
+}
+
+// Snapshot returns a deep-enough copy of the current resume state: the
+// per-shard slots are copied; the completion records they reference are
+// immutable once published. Returns nil before any sweep has bound the
+// Checkpointer.
+func (c *Checkpointer) Snapshot() *SweepCheckpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == nil {
+		return nil
+	}
+	cp := &SweepCheckpoint{Space: c.state.Space, Completions: c.state.Completions}
+	cp.Shards = make([]ShardCheckpoint, len(c.state.Shards))
+	for i, s := range c.state.Shards {
+		cp.Shards[i] = s
+		cp.Shards[i].Entries = append([]CompletionRecord(nil), s.Entries...)
+	}
+	return cp
+}
+
+// acquire binds the Checkpointer to one sweep; the first caller wins and
+// later sweeps of the same execution run un-checkpointed.
+func (c *Checkpointer) acquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.acquired {
+		return false
+	}
+	c.acquired = true
+	return true
+}
+
+// resumeState is what a checkpointed sweep starts from: the shard
+// geometry (bounds has len(shards)+1 entries), each shard's start
+// position within its interval, and the restored accumulators.
+type resumeState struct {
+	bounds []*big.Int
+	starts []*big.Int
+	counts []int64
+	// entries is the restored completion-dedup state per shard (nil
+	// outside completion sweeps or on a fresh start).
+	entries [][]*compEntry
+}
+
+// begin computes the resume state for eng under opts: the restored
+// checkpoint when one is present and valid, fresh geometry otherwise. It
+// also initializes the Checkpointer's live state to match, so a Snapshot
+// taken before the first publish already describes the sweep.
+func (c *Checkpointer) begin(eng *sweep.Engine, opts *Options, completions bool) *resumeState {
+	st := c.restore(eng, completions)
+	if st == nil {
+		size := eng.Size()
+		shards := shardCount(size, opts)
+		bounds := shardBounds(size, shards)
+		st = &resumeState{
+			bounds: bounds,
+			starts: bounds[:shards],
+			counts: make([]int64, shards),
+		}
+		if completions {
+			st.entries = make([][]*compEntry, shards)
+		}
+	}
+	c.mu.Lock()
+	c.state = &SweepCheckpoint{Space: eng.Size().String(), Completions: completions}
+	for i := range st.starts {
+		sc := ShardCheckpoint{
+			Lo:    st.bounds[i].String(),
+			Next:  st.starts[i].String(),
+			Hi:    st.bounds[i+1].String(),
+			Count: st.counts[i],
+		}
+		for _, e := range st.entriesAt(i) {
+			sc.Entries = append(sc.Entries, recordOf(e))
+		}
+		c.state.Shards = append(c.state.Shards, sc)
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// entriesAt returns the restored entries of shard i, tolerating a nil
+// entries slice (valuation sweeps).
+func (st *resumeState) entriesAt(i int) []*compEntry {
+	if st.entries == nil {
+		return nil
+	}
+	return st.entries[i]
+}
+
+// restore validates and decodes the resume checkpoint against eng;
+// any inconsistency discards it (returning nil → fresh start).
+func (c *Checkpointer) restore(eng *sweep.Engine, completions bool) *resumeState {
+	r := c.resume
+	if r == nil || len(r.Shards) == 0 || r.Completions != completions {
+		return nil
+	}
+	size := eng.Size()
+	if r.Space != size.String() {
+		return nil
+	}
+	st := &resumeState{
+		bounds: make([]*big.Int, 0, len(r.Shards)+1),
+		counts: make([]int64, len(r.Shards)),
+	}
+	if completions {
+		st.entries = make([][]*compEntry, len(r.Shards))
+	}
+	prev := big.NewInt(0)
+	st.bounds = append(st.bounds, prev)
+	for i, s := range r.Shards {
+		lo, ok1 := new(big.Int).SetString(s.Lo, 10)
+		next, ok2 := new(big.Int).SetString(s.Next, 10)
+		hi, ok3 := new(big.Int).SetString(s.Hi, 10)
+		if !ok1 || !ok2 || !ok3 || lo.Cmp(prev) != 0 || next.Cmp(lo) < 0 || hi.Cmp(next) < 0 {
+			return nil
+		}
+		st.bounds = append(st.bounds, hi)
+		st.starts = append(st.starts, next)
+		st.counts[i] = s.Count
+		if completions {
+			for _, rec := range s.Entries {
+				snap, err := eng.SnapshotOf(rec.Canonical)
+				if err != nil {
+					return nil
+				}
+				st.entries[i] = append(st.entries[i], &compEntry{
+					hash: sweep.Hash128{Lo: rec.HashLo, Hi: rec.HashHi},
+					snap: snap,
+					sat:  rec.Sat,
+				})
+			}
+		}
+		prev = hi
+	}
+	if prev.Cmp(size) != 0 {
+		return nil
+	}
+	return st
+}
+
+// publish records shard's current position and accumulator: next is the
+// first unvisited index, count the satisfying tally over [Lo, next), and
+// fresh the completion entries first seen since the previous publish.
+func (c *Checkpointer) publish(shard int, next *big.Int, count int64, fresh []CompletionRecord) {
+	c.mu.Lock()
+	s := &c.state.Shards[shard]
+	s.Next = next.String()
+	s.Count = count
+	s.Entries = append(s.Entries, fresh...)
+	c.publishes++
+	if c.onPublish != nil {
+		c.onPublish(c.publishes)
+	}
+	c.mu.Unlock()
+}
+
+// recordOf serializes one dedup entry.
+func recordOf(e *compEntry) CompletionRecord {
+	return CompletionRecord{
+		HashLo:    e.hash.Lo,
+		HashHi:    e.hash.Hi,
+		Canonical: e.snap.Canonical,
+		Sat:       e.sat,
+	}
+}

@@ -80,26 +80,38 @@ func shardBounds(size *big.Int, shards int) []*big.Int {
 // having been cancelled. A progressTracker serializes the calls.
 func sweepSharded(eng *sweep.Engine, ctx context.Context, shards int, progress func(done, total int), visit func(shard int, cur *sweep.Cursor) bool) error {
 	size := eng.Size()
-	tracker := newProgressTracker(progress, shards)
 	if size.Sign() == 0 {
+		tracker := newProgressTracker(progress, shards)
 		tracker.finishAll(ctx)
 		return ctx.Err()
 	}
+	bounds := shardBounds(size, shards)
+	return sweepShardedFrom(eng, ctx, bounds, bounds[:shards], progress, visit)
+}
+
+// sweepShardedFrom is sweepSharded over explicit shard geometry: bounds
+// has len(starts)+1 entries delimiting the shards' full intervals, and
+// starts[i] ∈ [bounds[i], bounds[i+1]] is where shard i begins — equal to
+// bounds[i] on a fresh sweep, past it when resuming from a checkpoint (a
+// shard whose start has reached its upper bound is already complete and
+// is not re-entered).
+func sweepShardedFrom(eng *sweep.Engine, ctx context.Context, bounds, starts []*big.Int, progress func(done, total int), visit func(shard int, cur *sweep.Cursor) bool) error {
+	shards := len(starts)
+	tracker := newProgressTracker(progress, shards)
 	if shards == 1 {
-		if err := sweepShard(eng, ctx, big.NewInt(0), size, 0, visit); err != nil {
+		if err := sweepShard(eng, ctx, starts[0], bounds[1], 0, visit); err != nil {
 			return err
 		}
 		tracker.shardDone(ctx)
 		return ctx.Err()
 	}
-	bounds := shardBounds(size, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = sweepShard(eng, ctx, bounds[w], bounds[w+1], w, visit)
+			errs[w] = sweepShard(eng, ctx, starts[w], bounds[w+1], w, visit)
 			if errs[w] == nil {
 				tracker.shardDone(ctx)
 			}
@@ -228,6 +240,11 @@ type completionShard struct {
 	order   []*compEntry
 	buckets map[sweep.Hash128][]*compEntry
 	keep    bool
+
+	// pendingFrom is the index in order up to which entries have been
+	// drained into a checkpoint (see drainPending); entries before it are
+	// already persisted.
+	pendingFrom int
 }
 
 func newCompletionShard(keepInstances bool) *completionShard {
@@ -256,6 +273,33 @@ func (s *completionShard) visit(cur *sweep.Cursor) {
 	e.sat = cur.MatchesUsing(e.inst)
 	s.buckets[h] = append(bucket, e)
 	s.order = append(s.order, e)
+}
+
+// restore seeds the shard's dedup state with entries rehydrated from a
+// checkpoint, marking them as already drained — a resumed shard republishes
+// only what it sees after the resume point.
+func (s *completionShard) restore(entries []*compEntry) {
+	for _, e := range entries {
+		s.buckets[e.hash] = append(s.buckets[e.hash], e)
+		s.order = append(s.order, e)
+	}
+	s.pendingFrom = len(s.order)
+}
+
+// drainPending serializes the entries first seen since the previous drain
+// and advances the watermark. Called only from the shard's own goroutine
+// (or after all shards stopped), like every other completionShard method.
+func (s *completionShard) drainPending() []CompletionRecord {
+	pending := s.order[s.pendingFrom:]
+	if len(pending) == 0 {
+		return nil
+	}
+	recs := make([]CompletionRecord, len(pending))
+	for i, e := range pending {
+		recs[i] = recordOf(e)
+	}
+	s.pendingFrom = len(s.order)
+	return recs
 }
 
 // mergeCompletionShards folds the shards together in shard order (= index

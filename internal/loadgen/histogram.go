@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is a log-linear latency histogram in the HDR style: values
+// are bucketed by power of two, each power split into 2^subBits linear
+// sub-buckets, so quantiles carry a bounded relative error (~1/2^subBits
+// ≈ 1.6%) across the whole nanosecond-to-minutes range with a few KB of
+// counters and no allocation per Record. It is not goroutine-safe: each
+// worker records into its own and the results are merged.
+type Histogram struct {
+	counts [bucketCount]int64
+	total  int64
+	max    int64
+}
+
+const (
+	subBits = 6
+	subSize = 1 << subBits
+	// bucketCount covers every int64 nanosecond value: values below
+	// subSize are exact, above that each power of two adds subSize
+	// sub-buckets.
+	bucketCount = (64 - subBits) * subSize
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < subSize {
+		return int(v)
+	}
+	// exp is how far v must shift right to fit in [subSize, 2*subSize).
+	exp := bits.Len64(uint64(v)) - 1 - subBits
+	return exp<<subBits + int(v>>uint(exp))
+}
+
+// bucketUpper is the largest value mapping to bucket i (the value a
+// quantile query reports, so quantiles never under-report).
+func bucketUpper(i int) int64 {
+	if i < 2*subSize {
+		return int64(i)
+	}
+	exp := uint(i>>subBits - 1)
+	base := int64(i&(subSize-1)|subSize) << exp
+	return base + 1<<exp - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max returns the largest recorded value exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the q-quantile (q in [0, 1]) as an upper bound of the
+// bucket holding it; the true value is at most ~1.6% smaller. The max is
+// reported exactly.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

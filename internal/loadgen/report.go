@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/incompletedb/incompletedb/internal/server"
+)
+
+// Report is the outcome of one load run: totals, throughput over the
+// measured (post-warmup) window, per-operation latency quantiles, and
+// the server's final stats snapshot — so the report shows the same
+// queue/checkpoint counters /v1/stats does.
+type Report struct {
+	BaseURL         string         `json:"base_url"`
+	Workers         int            `json:"workers"`
+	Seed            int64          `json:"seed"`
+	Profile         map[string]int `json:"profile"`
+	WarmupSeconds   float64        `json:"warmup_seconds"`
+	DurationSeconds float64        `json:"duration_seconds"`
+
+	// Ops counts recorded operations; Errors transport/HTTP failures;
+	// Rejected queue-full 429s on job submission (backpressure, not
+	// failure). Throughput is recorded ops per measured second.
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	Rejected   int64   `json:"rejected"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+
+	PerOp map[string]*OpReport `json:"per_op"`
+
+	// ErrorSamples holds up to a few representative error strings so a
+	// failed CI run is diagnosable from the report alone.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+
+	// AnchorJobID is the long checkpointed job submitted when
+	// Config.AnchorValuations is set (cancelled after the run).
+	AnchorJobID string `json:"anchor_job_id,omitempty"`
+
+	// Stats is the server's /v1/stats snapshot taken after the run.
+	Stats *server.Stats `json:"stats,omitempty"`
+}
+
+// OpReport is one operation's share of the run. Quantiles are over
+// successful operations only and carry the histogram's ~1.6% relative
+// error; Max is exact.
+type OpReport struct {
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected,omitempty"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// Text renders the report for terminals.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %s — %d workers, %.1fs measured (%.1fs warmup), seed %d\n",
+		r.BaseURL, r.Workers, r.DurationSeconds, r.WarmupSeconds, r.Seed)
+	fmt.Fprintf(&b, "  %d ops (%.1f ops/s), %d errors, %d rejected (429)\n",
+		r.Ops, r.Throughput, r.Errors, r.Rejected)
+	ops := make([]string, 0, len(r.PerOp))
+	for op := range r.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(&b, "  %-10s %8s %7s %7s %9s %9s %9s %9s\n",
+		"op", "count", "errors", "429s", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)")
+	for _, op := range ops {
+		o := r.PerOp[op]
+		fmt.Fprintf(&b, "  %-10s %8d %7d %7d %9.2f %9.2f %9.2f %9.2f\n",
+			op, o.Count, o.Errors, o.Rejected, o.P50MS, o.P90MS, o.P99MS, o.MaxMS)
+	}
+	if r.Stats != nil && r.Stats.JobQueue != nil {
+		q := r.Stats.JobQueue
+		fmt.Fprintf(&b, "  server jobs: %d running, %d queued, %d retained; %d submitted, %d rejected, %d resumed, %d completed\n",
+			q.Running, q.Queued, q.Retained, q.Submitted, q.Rejected, q.Resumed, q.Completed)
+		if len(q.CheckpointAgeSeconds) > 0 {
+			ids := make([]string, 0, len(q.CheckpointAgeSeconds))
+			for id := range q.CheckpointAgeSeconds {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				fmt.Fprintf(&b, "  checkpoint: %s persisted %.1fs ago\n", id, q.CheckpointAgeSeconds[id])
+			}
+		}
+	}
+	for _, s := range r.ErrorSamples {
+		fmt.Fprintf(&b, "  error: %s\n", s)
+	}
+	return b.String()
+}

@@ -175,8 +175,10 @@ type BatchResponse struct {
 }
 
 // Job statuses. A job is terminal once its status is JobDone, JobFailed
-// or JobCancelled.
+// or JobCancelled. JobQueued marks a job admitted under the concurrency
+// cap but still waiting for a slot.
 const (
+	JobQueued    = "queued"
 	JobRunning   = "running"
 	JobDone      = "done"
 	JobFailed    = "failed"
@@ -198,16 +200,24 @@ type Job struct {
 	// JobCancelled once the worker pool has actually stopped.
 	CancelRequested bool `json:"cancel_requested,omitempty"`
 
+	// Resumed marks a job recovered from the job directory after a
+	// restart: its sweep continued from the last persisted checkpoint
+	// rather than starting over.
+	Resumed bool `json:"resumed,omitempty"`
+
 	// Request echoes the submitted request with Database elided (it can
 	// be megabytes and the client already has it); DatabaseBytes records
 	// its size.
 	Request       Request `json:"request"`
 	DatabaseBytes int     `json:"database_bytes,omitempty"`
 
-	Result     *Response `json:"result,omitempty"`
-	Error      string    `json:"error,omitempty"`
-	CreatedAt  string    `json:"created_at"`
-	FinishedAt string    `json:"finished_at,omitempty"`
+	Result    *Response `json:"result,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	CreatedAt string    `json:"created_at"`
+	// CheckpointAt is when the job's sweep checkpoint was last persisted
+	// (running checkpointed jobs only).
+	CheckpointAt string `json:"checkpoint_at,omitempty"`
+	FinishedAt   string `json:"finished_at,omitempty"`
 }
 
 // JobList is the response of GET /v1/jobs.
@@ -291,7 +301,35 @@ type Stats struct {
 	// Live describes the live mutable session, if one is loaded.
 	Live *DatabaseState `json:"live,omitempty"`
 
-	Jobs map[string]int `json:"jobs,omitempty"`
+	// Jobs tallies retained jobs by status; JobQueue exposes the durable
+	// job subsystem's scheduling gauges and counters.
+	Jobs     map[string]int `json:"jobs,omitempty"`
+	JobQueue *JobQueueStats `json:"job_queue,omitempty"`
+}
+
+// JobQueueStats mirrors the job manager's metrics on /v1/stats: current
+// queue state, lifetime scheduling counters, and the freshness of each
+// running job's persisted checkpoint.
+type JobQueueStats struct {
+	// Running and Queued are current gauges; Retained counts every job
+	// record still held (including finished ones awaiting TTL eviction).
+	Running  int `json:"running"`
+	Queued   int `json:"queued"`
+	Retained int `json:"retained"`
+
+	// Submitted counts admissions (including recovered resubmissions),
+	// Rejected queue-full rejections (HTTP 429), Resumed jobs recovered
+	// from the job directory, Completed jobs that reached a terminal
+	// status, Evicted records removed by TTL or capacity pruning.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Resumed   int64 `json:"resumed"`
+	Completed int64 `json:"completed"`
+	Evicted   int64 `json:"evicted"`
+
+	// CheckpointAgeSeconds maps each running checkpointed job ID to the
+	// age of its last persisted checkpoint.
+	CheckpointAgeSeconds map[string]float64 `json:"checkpoint_age_seconds,omitempty"`
 }
 
 // errorBody is the JSON shape of top-level HTTP errors.

@@ -2,219 +2,180 @@ package server
 
 import (
 	"context"
-	cryptorand "crypto/rand"
-	"encoding/hex"
+	"encoding/json"
 	"fmt"
-	"sync"
 	"time"
+
+	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/jobs"
+	"github.com/incompletedb/incompletedb/internal/solver"
 )
 
-// jobState is the server-side record of one asynchronous job. The public
-// fields live in job and are read and written under mu; snapshot hands
-// consistent copies to handlers.
-type jobState struct {
-	mu       sync.Mutex
-	job      Job
-	created  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
+// The async job API is an adapter over the durable job subsystem of
+// internal/jobs: the manager owns scheduling (concurrency cap, bounded
+// admission queue), persistence (periodic checkpoint capture to the
+// configured store) and recovery; this file translates between the wire
+// types and the manager's opaque blobs, and builds the RunFunc that
+// executes one counting job with a resumable checkpointed sweep.
 
-	// done is closed when the job's goroutine has fully stopped — i.e.
-	// the underlying worker-pool sweep has returned.
-	done chan struct{}
-}
-
-func (st *jobState) snapshot() *Job {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	j := st.job
-	if j.Result != nil {
-		j.Result = j.Result.clone()
+// StartJob admits an asynchronous counting job for req (which must be an
+// OpCount request) and returns its initial snapshot. A request whose
+// result is already cached registers as an instantly-done job; everything
+// else goes through admission control — jobs.ErrQueueFull (mapped to 429
+// + Retry-After by the HTTP layer) when the queue is full.
+func (s *Server) StartJob(req Request) (*Job, error) {
+	if req.Op == "" {
+		req.Op = OpCount
 	}
-	// The submitted database can be megabytes; echoing it back on every
-	// progress poll (and for every retained job in a listing) would
-	// dwarf the payload that matters. Clients keep their own copy.
-	j.DatabaseBytes = len(j.Request.Database)
-	j.Request.Database = ""
-	j.CreatedAt = st.created.UTC().Format(time.RFC3339Nano)
-	if !st.finished.IsZero() {
-		j.FinishedAt = st.finished.UTC().Format(time.RFC3339Nano)
+	if req.Op != OpCount {
+		return nil, badRequest("jobs support op %q only, got %q", OpCount, req.Op)
 	}
-	return &j
-}
-
-// setProgress records a shard-completion update from the sweep. Progress
-// only ever moves forward: late or duplicate callbacks cannot make the
-// reported fraction go backwards.
-func (st *jobState) setProgress(done, total int) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.job.Status != JobRunning {
-		return
+	pdb, q, err := s.sessionFor(req)
+	if err != nil {
+		return nil, err
 	}
-	if total > 0 && (st.job.ShardsTotal != total || done > st.job.ShardsDone) {
-		st.job.ShardsDone = done
-		st.job.ShardsTotal = total
-		st.job.Progress = float64(done) / float64(total)
+	fpKind, kind, err := fingerprintKind(req)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// finish moves the job to a terminal status.
-func (st *jobState) finish(status string, result *Response, errMsg string) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.job.Status = status
-	st.job.Result = result
-	st.job.Error = errMsg
-	st.finished = time.Now()
-	if status == JobDone {
-		st.job.Progress = 1
-		if st.job.ShardsTotal > 0 {
-			st.job.ShardsDone = st.job.ShardsTotal
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, badRequest("request: %v", err)
+	}
+	// A non-forced job whose result is already cached finishes instantly;
+	// ForceBrute jobs always sweep — they exist to (re)do the work.
+	if !req.ForceBrute {
+		if res, ok := pdb.Cached(q, fpKind); ok {
+			blob, err := json.Marshal(s.resultResponse(OpCount, q, kind, res))
+			if err != nil {
+				return nil, err
+			}
+			j, err := s.jobs.SubmitDone(raw, blob)
+			if err != nil {
+				return nil, err
+			}
+			return jobFromRecord(j.Snapshot()), nil
 		}
 	}
-}
-
-// requestCancel flags the job and cancels its context. It reports whether
-// the job was still running; a terminal job is left untouched (its status
-// will never change, so flagging it would promise a cancellation that
-// cannot happen).
-func (st *jobState) requestCancel() bool {
-	st.mu.Lock()
-	running := st.job.Status == JobRunning
-	if running {
-		st.job.CancelRequested = true
+	j, err := s.jobs.Submit(raw, s.jobRunner(req, pdb, q, kind, nil))
+	if err != nil {
+		return nil, err
 	}
-	st.mu.Unlock()
-	if running {
-		st.cancel()
-	}
-	return running
+	return jobFromRecord(j.Snapshot()), nil
 }
 
-func (st *jobState) terminal() bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.job.Status != JobRunning
-}
-
-// jobManager is the concurrency-safe registry of jobs. It retains
-// terminal jobs (so clients can fetch results) up to a cap, pruning the
-// oldest terminal ones first.
-type jobManager struct {
-	mu    sync.Mutex
-	jobs  map[string]*jobState
-	order []string // creation order
-	max   int
-	seq   int64
-}
-
-func newJobManager(max int) *jobManager {
-	return &jobManager{jobs: make(map[string]*jobState), max: max}
-}
-
-// register creates and stores a new running job for req, returning its
-// state with the context the job must run under.
-func (m *jobManager) register(parent context.Context, req Request) (*jobState, context.Context) {
-	ctx, cancel := context.WithCancel(parent)
-	m.mu.Lock()
-	m.seq++
-	id := fmt.Sprintf("job-%d-%s", m.seq, randHex(4))
-	st := &jobState{
-		job:     Job{ID: id, Status: JobRunning, Request: req},
-		created: time.Now(),
-		cancel:  cancel,
-		done:    make(chan struct{}),
-	}
-	m.jobs[id] = st
-	m.order = append(m.order, id)
-	m.pruneLocked()
-	m.mu.Unlock()
-	return st, ctx
-}
-
-// pruneLocked evicts the oldest terminal jobs while over capacity.
-// Running jobs are never evicted, so the registry can transiently exceed
-// max when many jobs run at once.
-func (m *jobManager) pruneLocked() {
-	if m.max <= 0 || len(m.jobs) <= m.max {
-		return
-	}
-	kept := m.order[:0]
-	for _, id := range m.order {
-		st, ok := m.jobs[id]
-		if ok && len(m.jobs) > m.max && st.terminal() {
-			delete(m.jobs, id)
-			continue
+// jobRunner builds the RunFunc of one counting job: a checkpointed
+// (resumable) sweep through the solver session. resume, when non-nil, is
+// the checkpoint a recovered job continues from.
+func (s *Server) jobRunner(req Request, pdb *solver.PreparedDB, q cq.Query, kind string, resume *count.SweepCheckpoint) jobs.RunFunc {
+	return func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		ck := count.NewCheckpointer(s.cfg.CheckpointStride, resume)
+		j.SetCheckpointSource(func() json.RawMessage {
+			cp := ck.Snapshot()
+			if cp == nil {
+				return nil
+			}
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				return nil
+			}
+			return blob
+		})
+		opts := s.requestOptions(req, j.SetProgress)
+		opts.Checkpoint = ck
+		var res *solver.Result
+		var err error
+		if req.ForceBrute {
+			res, err = pdb.BruteCount(ctx, q, countingKind(kind), opts)
+		} else {
+			res, err = pdb.CountWith(ctx, q, countingKind(kind), opts)
 		}
-		if ok {
-			kept = append(kept, id)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(s.resultResponse(OpCount, q, kind, res))
+	}
+}
+
+// RecoverJobs resubmits the jobs a previous process left in the store:
+// running and queued records are rehydrated (their sweeps resume from the
+// persisted checkpoint), terminal ones are adopted so clients can still
+// fetch results across the restart. Call it after loading the live
+// database (a recovered job against the live session needs it) and
+// before serving traffic. Returns how many jobs resumed.
+func (s *Server) RecoverJobs() (int, error) {
+	return s.jobs.Recover(func(rec *jobs.Record) (jobs.RunFunc, error) {
+		var req Request
+		if err := json.Unmarshal(rec.Request, &req); err != nil {
+			return nil, fmt.Errorf("stored request: %v", err)
+		}
+		pdb, q, err := s.sessionFor(req)
+		if err != nil {
+			return nil, err
+		}
+		_, kind, err := fingerprintKind(req)
+		if err != nil {
+			return nil, err
+		}
+		var resume *count.SweepCheckpoint
+		if len(rec.Checkpoint) > 0 {
+			cp := new(count.SweepCheckpoint)
+			// An undecodable checkpoint is dropped, not fatal: the job
+			// restarts from scratch, which is correct, just slower.
+			if err := json.Unmarshal(rec.Checkpoint, cp); err == nil {
+				resume = cp
+			}
+		}
+		return s.jobRunner(req, pdb, q, kind, resume), nil
+	})
+}
+
+// jobFromRecord converts a manager record into the wire Job.
+func jobFromRecord(rec jobs.Record) *Job {
+	job := &Job{
+		ID:              rec.ID,
+		Status:          string(rec.Status),
+		Progress:        rec.Progress,
+		ShardsDone:      rec.ShardsDone,
+		ShardsTotal:     rec.ShardsTotal,
+		CancelRequested: rec.CancelRequested,
+		Resumed:         rec.Resumed,
+		Error:           rec.Error,
+		CreatedAt:       rec.CreatedAt.UTC().Format(time.RFC3339Nano),
+	}
+	if !rec.FinishedAt.IsZero() {
+		job.FinishedAt = rec.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !rec.CheckpointAt.IsZero() {
+		job.CheckpointAt = rec.CheckpointAt.UTC().Format(time.RFC3339Nano)
+	}
+	if len(rec.Request) > 0 {
+		var req Request
+		if json.Unmarshal(rec.Request, &req) == nil {
+			// The submitted database can be megabytes; echoing it back on
+			// every progress poll (and for every retained job in a
+			// listing) would dwarf the payload that matters. Clients keep
+			// their own copy.
+			job.DatabaseBytes = len(req.Database)
+			req.Database = ""
+			job.Request = req
 		}
 	}
-	m.order = kept
-}
-
-func (m *jobManager) get(id string) (*jobState, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.jobs[id]
-	return st, ok
-}
-
-// list returns snapshots of all retained jobs in creation order.
-func (m *jobManager) list() []*Job {
-	m.mu.Lock()
-	states := make([]*jobState, 0, len(m.jobs))
-	for _, id := range m.order {
-		if st, ok := m.jobs[id]; ok {
-			states = append(states, st)
+	if len(rec.Result) > 0 {
+		res := new(Response)
+		if json.Unmarshal(rec.Result, res) == nil {
+			job.Result = res
 		}
 	}
-	m.mu.Unlock()
-	out := make([]*Job, len(states))
-	for i, st := range states {
-		out[i] = st.snapshot()
-	}
-	return out
+	return job
 }
 
-// statusCounts tallies jobs by status for the stats endpoint, without
-// materializing full snapshots.
-func (m *jobManager) statusCounts() map[string]int {
-	m.mu.Lock()
-	states := make([]*jobState, 0, len(m.jobs))
-	for _, st := range m.jobs {
-		states = append(states, st)
-	}
-	m.mu.Unlock()
+// jobStatusCounts tallies retained jobs by status for the stats endpoint.
+func (s *Server) jobStatusCounts() map[string]int {
 	counts := make(map[string]int)
-	for _, st := range states {
-		st.mu.Lock()
-		counts[st.job.Status]++
-		st.mu.Unlock()
+	for _, rec := range s.jobs.List() {
+		counts[string(rec.Status)]++
 	}
 	return counts
-}
-
-// cancelAll cancels every running job (server shutdown).
-func (m *jobManager) cancelAll() {
-	m.mu.Lock()
-	states := make([]*jobState, 0, len(m.jobs))
-	for _, st := range m.jobs {
-		states = append(states, st)
-	}
-	m.mu.Unlock()
-	for _, st := range states {
-		st.cancel()
-	}
-}
-
-func randHex(n int) string {
-	b := make([]byte, n)
-	if _, err := cryptorand.Read(b); err != nil {
-		// Fall back to the sequence number alone; IDs stay unique because
-		// the caller combines them with m.seq.
-		return "0"
-	}
-	return hex.EncodeToString(b)
 }

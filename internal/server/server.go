@@ -74,6 +74,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
 	"github.com/incompletedb/incompletedb/internal/fingerprint"
+	"github.com/incompletedb/incompletedb/internal/jobs"
 	"github.com/incompletedb/incompletedb/internal/solver"
 )
 
@@ -113,6 +114,31 @@ type Config struct {
 	// MaxJobs caps how many (terminal) jobs the registry retains; 0
 	// means DefaultMaxJobs.
 	MaxJobs int
+
+	// MaxConcurrentJobs caps how many async jobs sweep at once; excess
+	// admissions queue. 0 means jobs.DefaultMaxConcurrent.
+	MaxConcurrentJobs int
+
+	// MaxQueuedJobs bounds the admission queue; a submission beyond it is
+	// rejected with 429 + Retry-After. 0 means jobs.DefaultMaxQueue.
+	MaxQueuedJobs int
+
+	// JobTTL is how long finished jobs are retained before the GC evicts
+	// them; 0 means jobs.DefaultTTL.
+	JobTTL time.Duration
+
+	// JobPersistInterval is how often running jobs' checkpoints are
+	// captured and persisted; 0 means jobs.DefaultPersistInterval.
+	JobPersistInterval time.Duration
+
+	// JobStore persists job records across restarts (incdb serve -jobdir
+	// passes a jobs.FileStore). Nil keeps jobs in memory only.
+	JobStore jobs.Store
+
+	// CheckpointStride is how many valuations each sweep shard visits
+	// between checkpoint publications; 0 means
+	// count.DefaultCheckpointStride.
+	CheckpointStride int64
 }
 
 func (c Config) cacheSize() int {
@@ -151,8 +177,11 @@ type Server struct {
 	// service used to implement itself; every request is answered through
 	// a session prepared on it.
 	solver *solver.Solver
-	jobs   *jobManager
-	mux    *http.ServeMux
+	// jobs is the durable job subsystem: admission control, checkpoint
+	// persistence and recovery live there (internal/jobs); this server
+	// adapts it to the wire API in jobs.go.
+	jobs *jobs.Manager
+	mux  *http.ServeMux
 
 	// live is the mutable session the write endpoints operate on and
 	// empty-database read requests route to. liveMu guards the pointer
@@ -178,9 +207,17 @@ func New(cfg Config) *Server {
 			MaxCylinders:  cfg.MaxCylinders,
 			CacheSize:     cfg.cacheSize(),
 		}),
-		jobs: newJobManager(cfg.maxJobs()),
 	}
 	s.root, s.closeRoot = context.WithCancel(context.Background())
+	s.jobs = jobs.New(jobs.Config{
+		MaxConcurrent:   cfg.MaxConcurrentJobs,
+		MaxQueue:        cfg.MaxQueuedJobs,
+		MaxJobs:         cfg.maxJobs(),
+		TTL:             cfg.JobTTL,
+		Store:           cfg.JobStore,
+		PersistInterval: cfg.JobPersistInterval,
+		BaseContext:     s.root,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -206,21 +243,33 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels all running jobs and in-flight background computations.
-func (s *Server) Close() { s.closeRoot(); s.jobs.cancelAll() }
+// Close abruptly cancels all running jobs and in-flight background
+// computations. For an orderly stop that checkpoints running jobs first,
+// use Shutdown (Serve does on context cancellation).
+func (s *Server) Close() { s.closeRoot(); s.jobs.Close() }
+
+// Shutdown drains the server gracefully: admission stops, running jobs
+// are cancelled at their next checkpoint boundary and their final
+// checkpoints persisted (so a restart over the same store resumes them),
+// then all background work is torn down. ctx bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.jobs.Drain(ctx)
+	s.Close()
+}
 
 // Serve serves the API on ln until ctx is cancelled, then shuts down
-// gracefully and closes the server.
+// gracefully: in-flight HTTP requests finish, running jobs checkpoint,
+// and only then is background work cancelled.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		s.Close()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shutdownCtx)
+		s.Shutdown(shutdownCtx)
 		return nil
 	case err := <-errc:
 		s.Close()
@@ -255,7 +304,19 @@ func (s *Server) Stats() Stats {
 		PlansInvalidated: m.PlansInvalidated,
 		PlansPatched:     m.PlansPatched,
 		FactorsReused:    m.FactorsReused,
-		Jobs:             s.jobs.statusCounts(),
+		Jobs:             s.jobStatusCounts(),
+	}
+	jm := s.jobs.Metrics()
+	st.JobQueue = &JobQueueStats{
+		Running:              jm.Running,
+		Queued:               jm.Queued,
+		Retained:             jm.Retained,
+		Submitted:            jm.Submitted,
+		Rejected:             jm.Rejected,
+		Resumed:              jm.Resumed,
+		Completed:            jm.Completed,
+		Evicted:              jm.Evicted,
+		CheckpointAgeSeconds: jm.CheckpointAgeSeconds,
 	}
 	s.liveMu.Lock()
 	defer s.liveMu.Unlock()
@@ -599,69 +660,6 @@ func (s *Server) execEstimate(req Request) (*Response, error) {
 	return resp, nil
 }
 
-// StartJob registers and launches an asynchronous counting job for req
-// (which must be an OpCount request) and returns its initial snapshot.
-func (s *Server) StartJob(req Request) (*Job, error) {
-	if req.Op == "" {
-		req.Op = OpCount
-	}
-	if req.Op != OpCount {
-		return nil, badRequest("jobs support op %q only, got %q", OpCount, req.Op)
-	}
-	pdb, q, err := s.sessionFor(req)
-	if err != nil {
-		return nil, err
-	}
-	fpKind, kind, err := fingerprintKind(req)
-	if err != nil {
-		return nil, err
-	}
-	st, ctx := s.jobs.register(s.root, req)
-	// A non-forced job whose result is already cached finishes instantly;
-	// ForceBrute jobs always sweep — they exist to (re)do the work.
-	if !req.ForceBrute {
-		if res, ok := pdb.Cached(q, fpKind); ok {
-			st.finish(JobDone, s.resultResponse(OpCount, q, kind, res), "")
-			st.cancel()
-			close(st.done)
-			return st.snapshot(), nil
-		}
-	}
-	go s.runJob(st, ctx, req, pdb, q)
-	return st.snapshot(), nil
-}
-
-// runJob executes one job on the worker pool: the session's forced
-// brute-force sweep when ForceBrute is set (that is the point of
-// ForceBrute), the normal solver path otherwise. Shard completions
-// stream into the job's progress; cancellation (DELETE, or server
-// shutdown) stops the sweep via the context. Either way the solver
-// stores the finished count in its cache, so later synchronous requests
-// over the same fingerprint are hits.
-func (s *Server) runJob(st *jobState, ctx context.Context, req Request, pdb *solver.PreparedDB, q cq.Query) {
-	defer close(st.done)
-	opts := s.requestOptions(req, st.setProgress)
-	kind := req.Kind
-	if kind == "" {
-		kind = KindVal
-	}
-	var res *solver.Result
-	var err error
-	if req.ForceBrute {
-		res, err = pdb.BruteCount(ctx, q, countingKind(kind), opts)
-	} else {
-		res, err = pdb.CountWith(ctx, q, countingKind(kind), opts)
-	}
-	switch {
-	case err == nil:
-		st.finish(JobDone, s.resultResponse(OpCount, q, kind, res), "")
-	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
-		st.finish(JobCancelled, nil, context.Canceled.Error())
-	default:
-		st.finish(JobFailed, nil, err.Error())
-	}
-}
-
 // ---- live mutable session ----
 
 // handleDBLoad replaces the live database: the body is a Request whose
@@ -873,38 +871,53 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.StartJob(req)
 	if err != nil {
-		writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			// Overload is backpressure, not failure: tell the client when
+			// to come back instead of letting submissions pile up.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		case errors.Is(err, jobs.ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, JobList{Jobs: s.jobs.list()})
+	recs := s.jobs.List()
+	out := make([]*Job, len(recs))
+	for i, rec := range recs {
+		out[i] = jobFromRecord(rec)
+	}
+	writeJSON(w, http.StatusOK, JobList{Jobs: out})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, st.snapshot())
+	writeJSON(w, http.StatusOK, jobFromRecord(j.Snapshot()))
 }
 
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.jobs.get(r.PathValue("id"))
+	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
 		return
 	}
-	if !st.requestCancel() {
+	if _, live := s.jobs.Cancel(j.ID()); !live {
 		// The job had already reached a terminal status; there is
 		// nothing to cancel and its status will not change.
-		writeJSON(w, http.StatusConflict, st.snapshot())
+		writeJSON(w, http.StatusConflict, jobFromRecord(j.Snapshot()))
 		return
 	}
-	writeJSON(w, http.StatusOK, st.snapshot())
+	writeJSON(w, http.StatusOK, jobFromRecord(j.Snapshot()))
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {

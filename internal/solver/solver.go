@@ -189,6 +189,7 @@ func (s *Solver) countOptions(ctx context.Context, opts *count.Options) *count.O
 			eff.Workers = opts.Workers
 		}
 		eff.Progress = opts.Progress
+		eff.Checkpoint = opts.Checkpoint
 		if eff.Context == nil {
 			eff.Context = opts.Context
 		}

@@ -1,5 +1,7 @@
 package sweep
 
+import "fmt"
+
 // Snapshot captures one distinct completion for exact dedup: its canonical
 // encoding (for cross-shard merges and collision buckets) plus a small
 // open-addressed index of its distinct facts keyed by fact hash, so a
@@ -27,8 +29,36 @@ type snapFact struct {
 
 // Snapshot captures the cursor's current completion.
 func (c *Cursor) Snapshot() *Snapshot {
-	e := c.eng
 	s := &Snapshot{Canonical: c.AppendCanonical(nil)}
+	s.index(c.eng)
+	return s
+}
+
+// SnapshotOf rehydrates a Snapshot from a canonical encoding previously
+// produced by a cursor of an equivalently compiled engine (the same
+// database compiles to the same interned IDs deterministically). This is
+// how checkpointed completion-dedup state comes back from disk. The
+// encoding is validated structurally — a truncated or corrupted blob
+// returns an error instead of a panicking snapshot.
+func (e *Engine) SnapshotOf(canonical []uint32) (*Snapshot, error) {
+	for off := 0; off < len(canonical); {
+		rel := canonical[off]
+		if int(rel) >= len(e.relArity) {
+			return nil, fmt.Errorf("sweep: canonical encoding names unknown relation id %d", rel)
+		}
+		n := int(e.relArity[rel]) + 1
+		if off+n > len(canonical) {
+			return nil, fmt.Errorf("sweep: canonical encoding truncated at offset %d", off)
+		}
+		off += n
+	}
+	s := &Snapshot{Canonical: append([]uint32(nil), canonical...)}
+	s.index(e)
+	return s, nil
+}
+
+// index builds the open-addressed fact table over Canonical.
+func (s *Snapshot) index(e *Engine) {
 	for off := 0; off < len(s.Canonical); {
 		rel := s.Canonical[off]
 		n := int(e.relArity[rel]) + 1
@@ -52,7 +82,6 @@ func (c *Cursor) Snapshot() *Snapshot {
 		}
 		s.table[i] = int32(j)
 	}
-	return s
 }
 
 // EqualsSnapshot reports whether the cursor's current completion is
