@@ -225,28 +225,17 @@ func sweepValuationsOnEngine(eng *sweep.Engine, opts *Options) (*big.Int, error)
 		return sweepValuationsCheckpointed(eng, opts, ck)
 	}
 	shards := shardCount(eng.Size(), opts)
-	counts := make([]int64, shards)
+	counts := newTallies(shards, kernelFor(eng))
 	err := sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
 		if cur.Matches() {
-			counts[shard]++
+			counts[shard].inc()
 		}
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	return mulMultiplier(counts, eng), nil
-}
-
-// mulMultiplier folds per-shard tallies and applies the engine's
-// pruned-null multiplier.
-func mulMultiplier(counts []int64, eng *sweep.Engine) *big.Int {
-	total := big.NewInt(0)
-	for _, c := range counts {
-		total.Add(total, big.NewInt(c))
-	}
-	total.Mul(total, eng.Multiplier())
-	return total
+	return foldTallies(counts, eng), nil
 }
 
 // sweepValuationsCheckpointed is the resumable variant: shard geometry
@@ -261,14 +250,15 @@ func sweepValuationsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpoin
 	counts := st.counts
 	visited := make([]int64, len(st.starts))
 	sincePub := make([]int64, len(st.starts))
+	pos := make([]big.Int, len(st.starts))
 	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
 		if cur.Matches() {
-			counts[shard]++
+			counts[shard].inc()
 		}
 		visited[shard]++
 		if sincePub[shard]++; sincePub[shard] >= ck.stride {
 			sincePub[shard] = 0
-			ck.publish(shard, shardPos(st.starts[shard], visited[shard]), counts[shard], nil)
+			ck.publish(shard, shardPos(&pos[shard], st.starts[shard], visited[shard]), &counts[shard], nil)
 		}
 		return true
 	})
@@ -276,17 +266,19 @@ func sweepValuationsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpoin
 	// stopped): on success this records completion, on cancellation the
 	// freshest resumable position.
 	for i := range visited {
-		ck.publish(i, shardPos(st.starts[i], visited[i]), counts[i], nil)
+		ck.publish(i, shardPos(&pos[i], st.starts[i], visited[i]), &counts[i], nil)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return mulMultiplier(counts, eng), nil
+	return foldTallies(counts, eng), nil
 }
 
-// shardPos returns start+visited: the shard's next unvisited index.
-func shardPos(start *big.Int, visited int64) *big.Int {
-	return new(big.Int).Add(start, big.NewInt(visited))
+// shardPos computes start+visited — the shard's next unvisited index —
+// into the shard-owned scratch dst, so a publish allocates no big.Int.
+func shardPos(dst, start *big.Int, visited int64) *big.Int {
+	dst.SetInt64(visited)
+	return dst.Add(dst, start)
 }
 
 // BruteForceCompletions counts the distinct completions ν(db) of db with
@@ -390,17 +382,18 @@ func sweepCompletionsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpoi
 	}
 	visited := make([]int64, len(st.starts))
 	sincePub := make([]int64, len(st.starts))
+	pos := make([]big.Int, len(st.starts))
 	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
 		perShard[shard].visit(cur)
 		visited[shard]++
 		if sincePub[shard]++; sincePub[shard] >= ck.stride {
 			sincePub[shard] = 0
-			ck.publish(shard, shardPos(st.starts[shard], visited[shard]), 0, perShard[shard].drainPending())
+			ck.publish(shard, shardPos(&pos[shard], st.starts[shard], visited[shard]), nil, perShard[shard].drainPending())
 		}
 		return true
 	})
 	for i := range visited {
-		ck.publish(i, shardPos(st.starts[i], visited[i]), 0, perShard[i].drainPending())
+		ck.publish(i, shardPos(&pos[i], st.starts[i], visited[i]), nil, perShard[i].drainPending())
 	}
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package count
 
 import (
+	"encoding/json"
 	"math/big"
 	"sync"
 
@@ -50,12 +51,52 @@ type ShardCheckpoint struct {
 
 	// Count is the shard's satisfying-valuation tally over [Lo, Next)
 	// (valuation sweeps only; completion sweeps keep their tally in the
-	// entries below).
-	Count int64 `json:"count,omitempty"`
+	// entries below). Like the positions it is a decimal string, so a
+	// tally survives JSON at any accumulator width — including one that
+	// escaped the fixed-width kernels mid-sweep.
+	Count Tally `json:"count,omitempty"`
 
 	// Entries is the shard's completion-dedup state: every distinct
 	// completion seen over [Lo, Next), in first-seen order.
 	Entries []CompletionRecord `json:"entries,omitempty"`
+}
+
+// Tally is a shard tally in serializable form: a decimal string, with ""
+// meaning zero (so fresh shards keep omitting the field). Checkpoints
+// written before the fixed-width kernels stored a JSON number; both
+// encodings decode.
+type Tally string
+
+// UnmarshalJSON accepts both the string form and the legacy bare number.
+func (t *Tally) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		*t = Tally(s)
+		return nil
+	}
+	*t = Tally(b)
+	return nil
+}
+
+// bigInt parses the tally; false means a malformed value (the restore
+// path then discards the checkpoint).
+func (t Tally) bigInt() (*big.Int, bool) {
+	if t == "" {
+		return new(big.Int), true
+	}
+	return new(big.Int).SetString(string(t), 10)
+}
+
+// tallyOf serializes an accumulator, keeping zero as the empty tally.
+func tallyOf(a *accum) Tally {
+	s := a.String()
+	if s == "0" {
+		return ""
+	}
+	return Tally(s)
 }
 
 // CompletionRecord is one distinct completion in serializable form: its
@@ -144,7 +185,10 @@ func (c *Checkpointer) acquire() bool {
 type resumeState struct {
 	bounds []*big.Int
 	starts []*big.Int
-	counts []int64
+	// counts is the per-shard accumulator state, on the kernel the
+	// engine's space size selects; a restored tally keeps the exact value
+	// it was published with, across any promotion boundary.
+	counts []accum
 	// entries is the restored completion-dedup state per shard (nil
 	// outside completion sweeps or on a fresh start).
 	entries [][]*compEntry
@@ -163,7 +207,7 @@ func (c *Checkpointer) begin(eng *sweep.Engine, opts *Options, completions bool)
 		st = &resumeState{
 			bounds: bounds,
 			starts: bounds[:shards],
-			counts: make([]int64, shards),
+			counts: newTallies(shards, kernelFor(eng)),
 		}
 		if completions {
 			st.entries = make([][]*compEntry, shards)
@@ -173,10 +217,12 @@ func (c *Checkpointer) begin(eng *sweep.Engine, opts *Options, completions bool)
 	c.state = &SweepCheckpoint{Space: eng.Size().String(), Completions: completions}
 	for i := range st.starts {
 		sc := ShardCheckpoint{
-			Lo:    st.bounds[i].String(),
-			Next:  st.starts[i].String(),
-			Hi:    st.bounds[i+1].String(),
-			Count: st.counts[i],
+			Lo:   st.bounds[i].String(),
+			Next: st.starts[i].String(),
+			Hi:   st.bounds[i+1].String(),
+		}
+		if !completions {
+			sc.Count = tallyOf(&st.counts[i])
 		}
 		for _, e := range st.entriesAt(i) {
 			sc.Entries = append(sc.Entries, recordOf(e))
@@ -207,9 +253,10 @@ func (c *Checkpointer) restore(eng *sweep.Engine, completions bool) *resumeState
 	if r.Space != size.String() {
 		return nil
 	}
+	kernel := kernelFor(eng)
 	st := &resumeState{
 		bounds: make([]*big.Int, 0, len(r.Shards)+1),
-		counts: make([]int64, len(r.Shards)),
+		counts: make([]accum, len(r.Shards)),
 	}
 	if completions {
 		st.entries = make([][]*compEntry, len(r.Shards))
@@ -223,9 +270,16 @@ func (c *Checkpointer) restore(eng *sweep.Engine, completions bool) *resumeState
 		if !ok1 || !ok2 || !ok3 || lo.Cmp(prev) != 0 || next.Cmp(lo) < 0 || hi.Cmp(next) < 0 {
 			return nil
 		}
+		tally, ok := s.Count.bigInt()
+		if !ok || tally.Sign() < 0 {
+			return nil
+		}
 		st.bounds = append(st.bounds, hi)
 		st.starts = append(st.starts, next)
-		st.counts[i] = s.Count
+		st.counts[i].set(tally)
+		if kernel == sweep.KernelBigInt && !st.counts[i].promoted() {
+			st.counts[i].promote()
+		}
 		if completions {
 			for _, rec := range s.Entries {
 				snap, err := eng.SnapshotOf(rec.Canonical)
@@ -248,13 +302,16 @@ func (c *Checkpointer) restore(eng *sweep.Engine, completions bool) *resumeState
 }
 
 // publish records shard's current position and accumulator: next is the
-// first unvisited index, count the satisfying tally over [Lo, next), and
+// first unvisited index, count the satisfying tally over [Lo, next)
+// (nil on completion sweeps, whose tally lives in the entries), and
 // fresh the completion entries first seen since the previous publish.
-func (c *Checkpointer) publish(shard int, next *big.Int, count int64, fresh []CompletionRecord) {
+func (c *Checkpointer) publish(shard int, next *big.Int, count *accum, fresh []CompletionRecord) {
 	c.mu.Lock()
 	s := &c.state.Shards[shard]
 	s.Next = next.String()
-	s.Count = count
+	if count != nil {
+		s.Count = tallyOf(count)
+	}
 	s.Entries = append(s.Entries, fresh...)
 	c.publishes++
 	if c.onPublish != nil {

@@ -184,9 +184,9 @@ func TestCheckpointInvalidResumeDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := []*SweepCheckpoint{
-		{Space: "999", Shards: []ShardCheckpoint{{Lo: "0", Next: "100", Hi: "999", Count: 42}}},
-		{Space: "729", Shards: []ShardCheckpoint{{Lo: "5", Next: "100", Hi: "729", Count: 42}}},
-		{Space: "729", Shards: []ShardCheckpoint{{Lo: "0", Next: "800", Hi: "729", Count: 42}}},
+		{Space: "999", Shards: []ShardCheckpoint{{Lo: "0", Next: "100", Hi: "999", Count: "42"}}},
+		{Space: "729", Shards: []ShardCheckpoint{{Lo: "5", Next: "100", Hi: "729", Count: "42"}}},
+		{Space: "729", Shards: []ShardCheckpoint{{Lo: "0", Next: "800", Hi: "729", Count: "42"}}},
 		{Space: "729", Shards: []ShardCheckpoint{{Lo: "0", Next: "not-a-number", Hi: "729"}}},
 		{Space: "729", Completions: true, Shards: []ShardCheckpoint{{Lo: "0", Next: "1", Hi: "729",
 			Entries: []CompletionRecord{{Canonical: []uint32{9999}}}}}},

@@ -1,0 +1,272 @@
+package count
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/sweep"
+)
+
+// Tests of the fixed-width accumulator kernel: the accum arithmetic
+// itself (increment, carry, promotion, restore), the Tally wire form, and
+// the property that every kernel — including a genuinely promoted big.Int
+// run and a mid-sweep overflow escape — produces bit-identical counts and
+// checkpoints.
+
+// TestAccumArithmetic drives accum through the word boundaries: carries
+// out of lo, the promotion out of hi, and exact restore on both sides.
+func TestAccumArithmetic(t *testing.T) {
+	var a accum
+	a.inc()
+	a.inc()
+	if a.promoted() || a.String() != "2" {
+		t.Fatalf("after 2 incs: promoted=%v value=%s", a.promoted(), a.String())
+	}
+
+	// Carry out of the low word.
+	a.set(new(big.Int).SetUint64(^uint64(0)))
+	a.inc()
+	two64 := new(big.Int).Lsh(big.NewInt(1), 64)
+	if a.promoted() || a.value().Cmp(two64) != 0 {
+		t.Fatalf("after lo carry: promoted=%v value=%v, want %v", a.promoted(), a.value(), two64)
+	}
+
+	// Genuine 128-bit overflow: promotion preserves the value exactly.
+	max128 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1))
+	a.set(max128)
+	if a.promoted() {
+		t.Fatal("2^128-1 should restore onto the fixed-width words")
+	}
+	a.inc()
+	two128 := new(big.Int).Lsh(big.NewInt(1), 128)
+	if !a.promoted() || a.value().Cmp(two128) != 0 {
+		t.Fatalf("after overflow: promoted=%v value=%v, want %v", a.promoted(), a.value(), two128)
+	}
+	a.inc()
+	if a.value().Cmp(new(big.Int).Add(two128, big.NewInt(1))) != 0 {
+		t.Fatalf("promoted inc lost the value: %v", a.value())
+	}
+
+	// A restore of an over-width value stays on big.Int.
+	a.set(two128)
+	if !a.promoted() || a.value().Cmp(two128) != 0 {
+		t.Fatalf("restore of 2^128: promoted=%v value=%v", a.promoted(), a.value())
+	}
+
+	// String matches big.Int rendering at every width.
+	for _, v := range []*big.Int{big.NewInt(0), big.NewInt(7), two64, max128, two128} {
+		a.set(v)
+		if a.String() != v.String() {
+			t.Fatalf("String after set(%v) = %s", v, a.String())
+		}
+	}
+}
+
+// TestTallyDecode pins the Tally wire form: the string encoding, the
+// legacy bare-number encoding of pre-kernel checkpoints, and the empty
+// tally meaning zero.
+func TestTallyDecode(t *testing.T) {
+	var sc ShardCheckpoint
+	if err := json.Unmarshal([]byte(`{"lo":"0","next":"5","hi":"9","count":"12345678901234567890123456789012345678901"}`), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Count.bigInt(); !ok || v.String() != "12345678901234567890123456789012345678901" {
+		t.Fatalf("string tally decoded to %v, %v", v, ok)
+	}
+	if err := json.Unmarshal([]byte(`{"lo":"0","next":"5","hi":"9","count":42}`), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Count.bigInt(); !ok || v.Int64() != 42 {
+		t.Fatalf("legacy numeric tally decoded to %v, %v", v, ok)
+	}
+	if v, ok := Tally("").bigInt(); !ok || v.Sign() != 0 {
+		t.Fatalf("empty tally decoded to %v, %v", v, ok)
+	}
+	if _, ok := Tally("not-a-number").bigInt(); ok {
+		t.Fatal("malformed tally decoded")
+	}
+	var z accum
+	if tallyOf(&z) != "" {
+		t.Fatalf("zero tally serialized as %q, want empty", tallyOf(&z))
+	}
+}
+
+// TestKernelPinning is the cross-kernel property test: for random naïve,
+// Codd and uniform databases across BCQ/UCQ/negation/inequality queries
+// and 1- and 4-way sweeps, the naturally selected fixed-width kernel and
+// a forced big.Int kernel (promoted accumulators throughout) must agree
+// exactly — with and without checkpoint kills in between.
+func TestKernelPinning(t *testing.T) {
+	defer func() { kernelOverride = "" }()
+	queries := []cq.Query{
+		cq.MustParseBCQ("R(x, x)"),
+		cq.MustParseBCQ("R(x, y) ∧ S(y)"),
+		cq.MustParse("S(x) | R(y, y)"),
+		&cq.Negation{Inner: cq.MustParseBCQ("R(x, x)")},
+		cq.MustParse("R(x, y) ∧ x ≠ y"),
+	}
+	schema := map[string]int{"R": 2, "S": 1}
+	builders := []func(r *rand.Rand) *core.Database{
+		func(r *rand.Rand) *core.Database { return randomNaiveDB(r, schema, 4, 5, 3) },
+		func(r *rand.Rand) *core.Database { return randomCoddDB(r, schema, 4, 3) },
+		func(r *rand.Rand) *core.Database { return randomUniformDB(r, schema, 4, 5, 3) },
+	}
+	for seed := int64(0); seed < 18; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := builders[seed%3](r)
+		q := queries[r.Intn(len(queries))]
+		for _, workers := range []int{1, 4} {
+			counts := map[sweep.Kernel]*big.Int{}
+			for _, k := range []sweep.Kernel{"", sweep.KernelBigInt} {
+				kernelOverride = k
+				n, err := BruteForceValuations(db, q, &Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("seed %d workers %d kernel %q: %v", seed, workers, k, err)
+				}
+				counts[k] = n
+			}
+			kernelOverride = ""
+			if counts[""].Cmp(counts[sweep.KernelBigInt]) != 0 {
+				t.Fatalf("seed %d workers %d: fixed-width %v != bigint %v",
+					seed, workers, counts[""], counts[sweep.KernelBigInt])
+			}
+			// Kill/resume under the big.Int kernel must agree too (the
+			// natural kernel is what TestCheckpointResumeBitIdentical runs).
+			kernelOverride = sweep.KernelBigInt
+			got, _, _ := runWithKills(t, r, db, q, workers, false)
+			kernelOverride = ""
+			if got.Cmp(counts[""]) != 0 {
+				t.Fatalf("seed %d workers %d: resumed bigint %v, want %v", seed, workers, got, counts[""])
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeAcrossPromotion forces the overflow escape on a
+// live resume: a legit mid-sweep checkpoint is doctored so one shard's
+// restored tally sits at 2^128-1, the maximum fixed-width value. The
+// resumed shard's very next satisfying valuation overflows and promotes
+// to big.Int mid-sweep; the final count must equal the clean count plus
+// exactly the injected bias, and the post-run checkpoint must serialize
+// the promoted tally exactly.
+func TestCheckpointResumeAcrossPromotion(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	for i := 1; i <= 8; i++ { // 3^8 = 6561 valuations, no irrelevant nulls
+		db.MustAddFact("R", core.Null(core.NullID(i)), core.Null(core.NullID(i%8+1)))
+	}
+	q := cq.MustParseBCQ("R(x, x)")
+	want, err := BruteForceValuations(db, q, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Sign() == 0 {
+		t.Fatal("test query matches nothing; the bias could never overflow")
+	}
+
+	// Take a genuine mid-sweep checkpoint by cancelling after the first
+	// publish.
+	ck := NewCheckpointer(killStride, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	ck.onPublish = func(n int) { cancel() }
+	_, err = BruteForceValuations(db, q, &Options{Workers: 1, Context: ctx, Checkpoint: ck})
+	cancel()
+	if err != context.Canceled {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	cp := roundTrip(t, ck.Snapshot())
+
+	// Doctor the first unfinished shard: raise its tally to 2^128-1.
+	max128 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1))
+	bias := new(big.Int)
+	for i := range cp.Shards {
+		s := &cp.Shards[i]
+		if s.Next == s.Hi {
+			continue
+		}
+		cur, ok := s.Count.bigInt()
+		if !ok {
+			t.Fatalf("shard %d carries malformed tally %q", i, s.Count)
+		}
+		bias.Sub(max128, cur)
+		s.Count = Tally(max128.String())
+		break
+	}
+	if bias.Sign() == 0 {
+		t.Fatal("no unfinished shard to doctor; lower killStride")
+	}
+
+	resumed := NewCheckpointer(killStride, cp)
+	got, err := BruteForceValuations(db, q, &Options{Workers: 1, Checkpoint: resumed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBiased := new(big.Int).Add(want, bias)
+	if got.Cmp(wantBiased) != 0 {
+		t.Fatalf("resumed count %v, want clean count %v + bias = %v", got, want, wantBiased)
+	}
+
+	// The final checkpoint's tallies survived the promotion exactly: they
+	// sum to the pre-multiplier total, and the doctored shard's tally is
+	// past 2^128 (it genuinely promoted).
+	final := roundTrip(t, resumed.Snapshot())
+	sum, overflowed := new(big.Int), false
+	for i, s := range final.Shards {
+		v, ok := s.Count.bigInt()
+		if !ok {
+			t.Fatalf("final shard %d tally %q malformed", i, s.Count)
+		}
+		if s.Next != s.Hi {
+			t.Fatalf("final shard %d did not finish: next %s != hi %s", i, s.Next, s.Hi)
+		}
+		if v.BitLen() > 128 {
+			overflowed = true
+		}
+		sum.Add(sum, v)
+	}
+	if !overflowed {
+		t.Fatal("no shard tally exceeds 128 bits; the promotion path was not taken")
+	}
+	if sum.Cmp(wantBiased) != 0 {
+		t.Fatalf("final checkpoint tallies sum to %v, want %v", sum, wantBiased)
+	}
+}
+
+// TestKernelSelectionBySpace pins which kernel real sweeps select: every
+// space in these tests fits uint64; a synthetic engine over ≥ 2^64
+// valuations selects uint128, and one over ≥ 2^128 selects bigint.
+func TestKernelSelectionBySpace(t *testing.T) {
+	mk := func(nulls, dom int) *core.Database {
+		vals := make([]string, dom)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("v%d", i)
+		}
+		db := core.NewUniformDatabase(vals)
+		for i := 1; i <= nulls; i++ {
+			db.MustAddFact("R", core.Null(core.NullID(i)))
+		}
+		return db
+	}
+	cases := []struct {
+		nulls, dom int
+		want       sweep.Kernel
+	}{
+		{6, 3, sweep.KernelUint64},   // 3^6
+		{63, 4, sweep.KernelUint128}, // 4^63 = 2^126
+		{64, 4, sweep.KernelBigInt},  // 4^64 = 2^128, one past the two-word bound
+	}
+	for i, c := range cases {
+		eng, err := sweep.Compile(mk(c.nulls, c.dom), cq.MustParseBCQ("R(x)"), sweep.ModeValuations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := kernelFor(eng); got != c.want {
+			t.Errorf("case %d (%d nulls, dom %d): kernel %q, want %q", i, c.nulls, c.dom, got, c.want)
+		}
+	}
+}

@@ -348,3 +348,28 @@ func TestPlanJSONRoundTrips(t *testing.T) {
 		t.Errorf("round trip mismatch: %+v", back)
 	}
 }
+
+// TestSweepKernelRecorded: a sweep node's cost carries the accumulator
+// kernel its space size selects, the accepted sweep decision is annotated
+// with the kernel and the membership evaluator, and both survive into the
+// wire form.
+func TestSweepKernelRecorded(t *testing.T) {
+	p, err := plan.BruteOnly(figure1DB(t), cq.MustParseBCQ("S(x, x)"), classify.Valuations, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Cost.Kernel != "uint64" {
+		t.Fatalf("sweep cost kernel %q, want uint64", p.Root.Cost.Kernel)
+	}
+	last := p.Root.Decisions[len(p.Root.Decisions)-1]
+	if !last.Accepted || !strings.Contains(last.Reason, "uint64 kernel") {
+		t.Fatalf("accepted sweep decision not annotated with the kernel: %q", last.Reason)
+	}
+	blob, err := json.Marshal(p.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"kernel":"uint64"`) {
+		t.Fatalf("plan wire form misses the kernel: %s", blob)
+	}
+}

@@ -97,6 +97,7 @@ type CostJSON struct {
 	TotalSpace   string `json:"total_space,omitempty"`
 	PrunedNulls  int    `json:"pruned_nulls,omitempty"`
 	ExceedsGuard bool   `json:"exceeds_guard,omitempty"`
+	Kernel       string `json:"kernel,omitempty"`
 	Note         string `json:"note,omitempty"`
 }
 
@@ -140,6 +141,7 @@ func (n *Node) JSON() *NodeJSON {
 		cj := &CostJSON{
 			PrunedNulls:  c.PrunedNulls,
 			ExceedsGuard: c.ExceedsGuard,
+			Kernel:       c.Kernel,
 			Note:         c.Note,
 		}
 		if c.Space != nil {

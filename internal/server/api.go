@@ -82,6 +82,11 @@ type Response struct {
 	// "complement(exact/theorem-3.9)".
 	Method string `json:"method,omitempty"`
 
+	// Kernel is the accumulator kernel the count's sweeps ran their shard
+	// tallies on ("uint64", "uint128" or "bigint"); empty when the plan
+	// swept nothing. Count responses only.
+	Kernel string `json:"kernel,omitempty"`
+
 	// Plan is the compiled query plan behind the result: the operator
 	// tree, per-node decision records (each algorithm tried, the paper
 	// theorem, and the precondition that failed), costs, and the rendered

@@ -135,12 +135,12 @@ func TestJobResumeAfterCrash(t *testing.T) {
 	store := &freezeStore{inner: jobs.NewMemStore()}
 	cfg := Config{
 		Workers:            4,
-		MaxValuations:      1 << 25,
+		MaxValuations:      1 << 27,
 		CheckpointStride:   1 << 12,
 		JobPersistInterval: 10 * time.Millisecond,
 		JobStore:           store,
 	}
-	dbText := jobTestDB(22) // ~4.2M valuations: seconds of sweep
+	dbText := jobTestDB(25) // 2^25 ≈ 33.5M valuations: seconds of sweep
 	req := Request{Database: dbText, Query: "R(x, x)", Kind: KindVal, ForceBrute: true}
 
 	srvA := New(cfg)
@@ -196,7 +196,7 @@ func TestJobResumeAfterCrash(t *testing.T) {
 	}
 	select {
 	case <-j.Done():
-	case <-time.After(60 * time.Second):
+	case <-time.After(180 * time.Second):
 		t.Fatalf("resumed job did not finish; state %+v", j.Snapshot())
 	}
 	rec := j.Snapshot()
@@ -208,7 +208,7 @@ func TestJobResumeAfterCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := count.BruteForceValuations(db, cq.MustParseBCQ("R(x, x)"), &count.Options{MaxValuations: 1 << 25})
+	want, err := count.BruteForceValuations(db, cq.MustParseBCQ("R(x, x)"), &count.Options{MaxValuations: 1 << 27})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,12 +229,12 @@ func TestServeDrainLeavesJobsResumable(t *testing.T) {
 	store := jobs.NewMemStore()
 	cfg := Config{
 		Workers:            4,
-		MaxValuations:      1 << 25,
+		MaxValuations:      1 << 27,
 		CheckpointStride:   1 << 12,
 		JobPersistInterval: 10 * time.Millisecond,
 		JobStore:           store,
 	}
-	dbText := jobTestDB(22)
+	dbText := jobTestDB(25) // 2^25 ≈ 33.5M valuations: seconds of sweep
 	req := Request{Database: dbText, Query: "R(x, x)", Kind: KindVal, ForceBrute: true}
 
 	srvA, base := startServer(t, cfg)
@@ -272,7 +272,7 @@ func TestServeDrainLeavesJobsResumable(t *testing.T) {
 	}
 	select {
 	case <-j.Done():
-	case <-time.After(60 * time.Second):
+	case <-time.After(180 * time.Second):
 		t.Fatalf("resumed job did not finish; state %+v", j.Snapshot())
 	}
 	rec := j.Snapshot()
@@ -283,7 +283,7 @@ func TestServeDrainLeavesJobsResumable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := count.BruteForceValuations(db, cq.MustParseBCQ("R(x, x)"), &count.Options{MaxValuations: 1 << 25})
+	want, err := count.BruteForceValuations(db, cq.MustParseBCQ("R(x, x)"), &count.Options{MaxValuations: 1 << 27})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -580,6 +580,7 @@ func (s *Server) resultResponse(op string, q cq.Query, kind string, res *solver.
 		resp.Kind = kind
 		resp.Count = res.Count.String()
 		resp.Method = string(res.Method)
+		resp.Kernel = res.Stats.Kernel
 		if res.Plan != nil {
 			resp.Plan = res.Plan.JSON()
 		}

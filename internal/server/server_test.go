@@ -256,8 +256,8 @@ func TestJobLifecycle(t *testing.T) {
 // the job reaches the terminal "cancelled" status (which requires the
 // underlying sweep to have returned) well before it could have finished.
 func TestJobCancellation(t *testing.T) {
-	_, base := startServer(t, Config{Workers: 4, MaxValuations: 1 << 25})
-	dbText := jobTestDB(24) // 2^24 ≈ 16.7M valuations: many seconds of sweep
+	_, base := startServer(t, Config{Workers: 4, MaxValuations: 1 << 27})
+	dbText := jobTestDB(26) // 2^26 ≈ 67M valuations: seconds of sweep
 
 	var created Job
 	req := Request{Database: dbText, Query: "R(x, x)", Kind: KindVal, ForceBrute: true}
@@ -518,4 +518,20 @@ func ExampleServer_Execute() {
 	})
 	fmt.Println("#Val =", resp.Count)
 	// Output: #Val = 5
+}
+
+// TestCountResponseKernel: the count wire form reports the accumulator
+// kernel of the plan's sweeps; jobs inherit it through their embedded
+// Response.
+func TestCountResponseKernel(t *testing.T) {
+	_, base := startServer(t, Config{Workers: 2, MaxValuations: 1 << 20})
+	// jobTestDB spaces are tiny here, so the sweep provably runs uint64.
+	req := Request{Op: OpCount, Database: jobTestDB(6), Query: "R(x, x)", Kind: KindVal, MaxCylinders: -1}
+	var resp Response
+	if code := doJSON(t, http.MethodPost, base+"/v1/count", req, &resp); code != http.StatusOK {
+		t.Fatalf("count returned HTTP %d", code)
+	}
+	if resp.Kernel != "uint64" {
+		t.Fatalf("count response kernel %q, want uint64 (%+v)", resp.Kernel, resp)
+	}
 }

@@ -250,7 +250,7 @@ func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, 
 	if err != nil {
 		return nil, err
 	}
-	swept, pruned, multiplier := statsFromPlan(pl)
+	swept, pruned, multiplier, kernel := statsFromPlan(pl)
 	reused := 0
 	if rec != nil {
 		reused = rec.hits
@@ -267,6 +267,7 @@ func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, 
 			FactorsReused:   reused,
 			Epoch:           p.appliedVersion,
 			Workers:         effectiveWorkers(eff.Workers),
+			Kernel:          string(kernel),
 			Wall:            time.Since(start),
 		},
 	}, nil

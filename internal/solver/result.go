@@ -8,6 +8,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/approx"
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/plan"
+	"github.com/incompletedb/incompletedb/internal/sweep"
 )
 
 // Result is the outcome of one counting (or decision) call on a prepared
@@ -83,6 +84,14 @@ type Stats struct {
 	// sweeps with.
 	Workers int
 
+	// Kernel is the accumulator kernel the call's sweeps ran their shard
+	// tallies on: "uint64" or "uint128" when the enumerated space proves
+	// the count fits a fixed width, "bigint" otherwise. When a plan has
+	// several sweep nodes it reports the widest kernel among them. Empty
+	// when the plan has no sweep node, and — like the other sweep stats —
+	// describing the first computation's route on cache hits.
+	Kernel string
+
 	// Wall is the wall-clock time of this call (near zero for cache hits).
 	Wall time.Duration
 }
@@ -124,7 +133,7 @@ func (r *Result) stripped() *Result {
 // statsFromPlan derives the sweep-side execution stats from the plan's
 // node payloads: the compiled engines of internal/sweep carry the
 // enumerated-space geometry the execution actually swept.
-func statsFromPlan(p *plan.Plan) (swept *big.Int, pruned int, multiplier *big.Int) {
+func statsFromPlan(p *plan.Plan) (swept *big.Int, pruned int, multiplier *big.Int, kernel sweep.Kernel) {
 	var walk func(n *plan.Node)
 	walk = func(n *plan.Node) {
 		if n == nil {
@@ -142,13 +151,14 @@ func statsFromPlan(p *plan.Plan) (swept *big.Int, pruned int, multiplier *big.In
 				}
 				multiplier.Mul(multiplier, n.Engine.Multiplier())
 			}
+			kernel = kernel.Wider(n.Engine.Kernel())
 		}
 		for _, c := range n.Children {
 			walk(c)
 		}
 	}
 	walk(p.Root)
-	return swept, pruned, multiplier
+	return swept, pruned, multiplier, kernel
 }
 
 // effectiveWorkers mirrors the worker-pool default of internal/count: 0

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// Tests pinning the bitset-compiled membership kernel against the scalar
+// evaluator: for any engine, a sweep with the compiled bitmaps must
+// produce exactly the verdict sequence of the same engine with bitsets
+// disabled — across query shapes (BCQ, UCQ, negation, inequality),
+// database styles, and mutations applied through Patch.
+
+// bitsetQueries spans the program shapes the bitset compiler classifies
+// differently: bound-variable checks, repeated-variable equality masks
+// (including the single-atom flat-verdict path), disjunction, negation,
+// and inequalities (which suppress the exist-only shortcut).
+var bitsetQueries = []cq.Query{
+	cq.MustParseBCQ("R(x, x)"), // flat verdict: one atom, equality mask only
+	cq.MustParseBCQ("R(x, y) ∧ S(y)"),
+	cq.MustParseBCQ("R(x, y) ∧ T(y, x)"),
+	cq.MustParse("S(x) | T(y, y)"),
+	cq.MustParse("R(x, x) | R(x, y) ∧ S(x)"),
+	&cq.Negation{Inner: cq.MustParseBCQ("R(x, x)")},
+	cq.MustParse("R(x, y) ∧ x ≠ y"),
+	cq.MustParse("R(x, y) ∧ S(z) ∧ x ≠ z"),
+}
+
+// compareBitsetScalar sweeps both engines in lockstep and requires
+// identical verdicts at every index; bit is expected to carry the bitmap
+// plan, sc to run the scalar evaluator.
+func compareBitsetScalar(t *testing.T, seed int64, step int, bit, sc *Engine) {
+	t.Helper()
+	if bit.Size().Cmp(sc.Size()) != 0 {
+		t.Fatalf("seed %d step %d: sizes diverge: %v vs %v", seed, step, bit.Size(), sc.Size())
+	}
+	size := bit.Size()
+	if size.Sign() == 0 {
+		return
+	}
+	bc, scc := bit.NewCursor(), sc.NewCursor()
+	if err := bc.Seek(big.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := scc.Seek(big.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); ; i++ {
+		if bc.Matches() != scc.Matches() {
+			t.Fatalf("seed %d step %d index %d: bitset verdict %v, scalar %v",
+				seed, step, i, bc.Matches(), scc.Matches())
+		}
+		// Spot-check Seek against incremental Step on the bitset engine:
+		// seeking rebuilds the cursor bitmaps from scratch.
+		if i%37 == 0 {
+			chk := bit.NewCursor()
+			if err := chk.Seek(big.NewInt(i)); err != nil {
+				t.Fatal(err)
+			}
+			if chk.Matches() != bc.Matches() {
+				t.Fatalf("seed %d step %d index %d: Seek verdict %v, Step verdict %v",
+					seed, step, i, chk.Matches(), bc.Matches())
+			}
+		}
+		bs, ss := bc.Step(), scc.Step()
+		if bs != ss {
+			t.Fatalf("seed %d step %d index %d: Step exhaustion diverges", seed, step, i)
+		}
+		if !bs {
+			return
+		}
+	}
+}
+
+// TestBitsetMatchesScalar is the property test: random databases ×
+// bitsetQueries, sweeping the default (bitset) engine against the same
+// compile with DisableBitsets, then interleaving random mutations through
+// Patch on both and re-comparing.
+func TestBitsetMatchesScalar(t *testing.T) {
+	bitsetSeen := 0
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r, int(seed%3))
+		q := bitsetQueries[r.Intn(len(bitsetQueries))]
+		bit, err := Compile(db, q, ModeValuations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := Compile(db, q, ModeValuations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.DisableBitsets()
+		if sc.Bitset() {
+			t.Fatal("DisableBitsets left the plan in place")
+		}
+		if bit.Bitset() {
+			bitsetSeen++
+		}
+		compareBitsetScalar(t, seed, -1, bit, sc)
+
+		ver := db.Version()
+		mr := rand.New(rand.NewSource(seed * 101))
+		for step := 0; step < 4; step++ {
+			for n := 1 + mr.Intn(3); n > 0; n-- {
+				mutateRandom(mr, db)
+			}
+			deltas, ok := db.DeltasSince(ver)
+			if !ok {
+				t.Fatal("delta log unavailable")
+			}
+			ver = db.Version()
+			for _, d := range deltas {
+				// Patch both engines with the same delta; on either
+				// failing, recompile both so they stay comparable.
+				pb, ps := bit.Patch(db, d), sc.Patch(db, d)
+				if pb && ps {
+					continue
+				}
+				if bit, err = Compile(db, q, ModeValuations); err != nil {
+					t.Fatalf("seed %d step %d: recompile: %v", seed, step, err)
+				}
+				if sc, err = Compile(db, q, ModeValuations); err != nil {
+					t.Fatalf("seed %d step %d: recompile: %v", seed, step, err)
+				}
+				sc.DisableBitsets()
+				break
+			}
+			if !bit.Size().IsInt64() || bit.Size().Int64() > 1<<14 {
+				break // keep full enumeration cheap
+			}
+			compareBitsetScalar(t, seed, step, bit, sc)
+		}
+	}
+	if bitsetSeen == 0 {
+		t.Fatal("no seed compiled a bitset plan; the property test pinned nothing")
+	}
+}
+
+// TestBitsetSampleModeOff pins that ModeSample engines never carry a
+// bitmap plan (sampling mutates digit domains per draw, which the plan's
+// value-indexed blocks do not track).
+func TestBitsetSampleModeOff(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a", "b"})
+	db.MustAddFact("R", core.Null(1), core.Null(2))
+	eng, err := Compile(db, cq.MustParseBCQ("R(x, x)"), ModeSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Bitset() {
+		t.Fatal("ModeSample engine compiled a bitset plan")
+	}
+}
+
+// FuzzBitsetMatches drives randomized (database, query, index) triples
+// through both membership kernels and requires identical verdicts.
+func FuzzBitsetMatches(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(0))
+	f.Add(int64(7), uint8(3), uint16(911))
+	f.Fuzz(func(t *testing.T, seed int64, qsel uint8, idx uint16) {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r, int(uint64(seed)%3))
+		q := bitsetQueries[int(qsel)%len(bitsetQueries)]
+		bit, err := Compile(db, q, ModeValuations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := Compile(db, q, ModeValuations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.DisableBitsets()
+		size := bit.Size()
+		if size.Sign() == 0 {
+			return
+		}
+		start := new(big.Int).Mod(big.NewInt(int64(idx)), size)
+		bc, scc := bit.NewCursor(), sc.NewCursor()
+		if err := bc.Seek(start); err != nil {
+			t.Fatal(err)
+		}
+		if err := scc.Seek(start); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if bc.Matches() != scc.Matches() {
+				t.Fatalf("seed %d q %d index %v+%d: bitset %v, scalar %v",
+					seed, qsel, start, i, bc.Matches(), scc.Matches())
+			}
+			bs, ss := bc.Step(), scc.Step()
+			if bs != ss {
+				t.Fatal("Step exhaustion diverges")
+			}
+			if !bs {
+				return
+			}
+		}
+	})
+}

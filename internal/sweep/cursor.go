@@ -13,9 +13,10 @@ import (
 // query verdict, and (in ModeCompletions) the incremental completion hash.
 // A cursor is single-goroutine state; shards each own one.
 type Cursor struct {
-	eng  *Engine
-	args []uint32 // live argument arena
-	idx  []int    // current digit indices
+	eng   *Engine
+	args  []uint32 // live argument arena
+	idx   []int    // current digit indices
+	radix []int    // per-digit domain sizes (odometer hot path)
 
 	verdict      bool
 	verdictValid bool
@@ -31,6 +32,13 @@ type Cursor struct {
 	mult     *hashMultiset
 	sum      Hash128
 
+	// Bitset-compiled membership state (see bitset.go): the engine's plan
+	// pinned at cursor creation and the cursor-local bitmap words it
+	// indexes. Nil when the engine compiled no plan.
+	bits    *bitsetPlan
+	posBits []uint64
+	eqBits  []uint64
+
 	// Scratch buffers.
 	strArgs []string
 	sortIdx []int32
@@ -40,9 +48,13 @@ type Cursor struct {
 // before inspecting it.
 func (e *Engine) NewCursor() *Cursor {
 	c := &Cursor{
-		eng:  e,
-		args: append([]uint32(nil), e.tmplArgs...),
-		idx:  make([]int, len(e.digits)),
+		eng:   e,
+		args:  append([]uint32(nil), e.tmplArgs...),
+		idx:   make([]int, len(e.digits)),
+		radix: make([]int, len(e.digits)),
+	}
+	for k := range e.digits {
+		c.radix[k] = len(e.digits[k].dom)
 	}
 	maxVars := 0
 	for _, d := range e.prog.disjuncts {
@@ -56,6 +68,11 @@ func (e *Engine) NewCursor() *Cursor {
 	if e.mode == ModeCompletions {
 		c.factHash = make([]Hash128, len(e.factRel))
 		c.mult = newHashMultiset(len(e.factRel))
+	}
+	if e.bits != nil {
+		c.bits = e.bits
+		c.posBits = make([]uint64, e.bits.posWords)
+		c.eqBits = make([]uint64, e.bits.eqWords)
 	}
 	return c
 }
@@ -117,6 +134,9 @@ func (c *Cursor) rebuild() {
 			c.addFactHash(h)
 		}
 	}
+	if c.bits != nil {
+		c.rebuildBits()
+	}
 	c.verdictValid = false
 }
 
@@ -124,9 +144,8 @@ func (c *Cursor) rebuild() {
 // the digits that changed. It returns false when the space is exhausted
 // (the cursor then stays on the last valuation).
 func (c *Cursor) Step() bool {
-	e := c.eng
 	k := len(c.idx) - 1
-	for k >= 0 && c.idx[k]+1 >= len(e.digits[k].dom) {
+	for k >= 0 && c.idx[k]+1 >= c.radix[k] {
 		k--
 	}
 	if k < 0 {
@@ -145,21 +164,56 @@ func (c *Cursor) Step() bool {
 
 // applyDigit repatches digit d's slots to its current domain value and
 // maintains the incremental state: the per-fact hashes and completion sum
-// in ModeCompletions, and the verdict cache, which survives the step when
-// the digit only touches relations the query never reads.
+// in ModeCompletions, the membership bitmaps when a bitset plan is
+// active, and the verdict cache, which survives the step when the digit
+// only touches relations the query never reads.
 func (c *Cursor) applyDigit(d int) {
 	e := c.eng
 	dg := &e.digits[d]
 	v := dg.dom[c.idx[d]]
-	if e.mode == ModeCompletions {
-		for _, s := range dg.slots {
+	var upd []slotUpd
+	if c.bits != nil {
+		upd = c.bits.upd[d]
+	}
+	switch {
+	case e.mode == ModeCompletions:
+		for si, s := range dg.slots {
 			c.removeFactHash(c.factHash[s.fact])
-			c.args[e.factOff[s.fact]+s.pos] = v
+			ai := e.factOff[s.fact] + s.pos
+			old := c.args[ai]
+			c.args[ai] = v
+			if upd != nil && old != v {
+				c.updateSlotBits(&upd[si], old, v)
+			}
 			h := factHash(e.factRel[s.fact], e.factArgs(c.args, s.fact))
 			c.factHash[s.fact] = h
 			c.addFactHash(h)
 		}
-	} else {
+	case upd != nil:
+		// updateSlotBits, hand-inlined: this is the hottest loop of a
+		// counting sweep with an active bitset plan.
+		for si := range upd {
+			u := &upd[si]
+			old := c.args[u.arg]
+			if old == v {
+				continue
+			}
+			c.args[u.arg] = v
+			w := int(u.word)
+			if u.posOff >= 0 {
+				c.posBits[u.posOff+int(old)*u.posWords+w] &^= u.bit
+				c.posBits[u.posOff+int(v)*u.posWords+w] |= u.bit
+			}
+			for i := range u.eqs {
+				eq := &u.eqs[i]
+				if v == c.args[eq.otherArg] {
+					c.eqBits[eq.off+w] |= u.bit
+				} else {
+					c.eqBits[eq.off+w] &^= u.bit
+				}
+			}
+		}
+	default:
 		for _, s := range dg.slots {
 			c.args[e.factOff[s.fact]+s.pos] = v
 		}
@@ -188,7 +242,11 @@ func (c *Cursor) removeFactHash(h Hash128) {
 // re-evaluating only when a relevant relation changed since the last call.
 func (c *Cursor) Matches() bool {
 	if !c.verdictValid {
-		c.verdict = c.evalProgram()
+		if c.bits != nil && c.bits.flat != nil {
+			c.verdict = c.evalFlat()
+		} else {
+			c.verdict = c.evalProgram()
+		}
 		c.verdictValid = true
 	}
 	return c.verdict

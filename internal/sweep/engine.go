@@ -103,6 +103,12 @@ type Engine struct {
 	prunedNulls map[core.NullID]bool // nulls factored out of the sweep
 	prune       bool                 // relevant-null pruning is active
 	dead        []bool               // tombstones; nil until first removal
+
+	// Bitset-compiled membership (see bitset.go): the word-parallel atom
+	// matching plan, rebuilt after every successful Patch; nil when no
+	// atom profits, the budget is exceeded, or bitsets are disabled.
+	bits      *bitsetPlan
+	bitsetOff bool
 }
 
 // Compile builds the sweep engine for db and q under the given mode. It
@@ -192,6 +198,7 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 		e.size.Mul(e.size, big.NewInt(int64(len(dom))))
 	}
 	e.total = new(big.Int).Mul(e.size, e.multiplier)
+	e.buildBitsets()
 	return e, nil
 }
 

@@ -1,0 +1,60 @@
+package sweep
+
+import "math/big"
+
+// Kernel identifies the accumulator width a brute-force sweep can run its
+// per-shard tallies on. The selection is a proof, not a guess: a sweep's
+// final count is bounded by the size of the valuation space it enumerates,
+// so when that bound fits in one (or two) machine words every intermediate
+// tally provably does too and the whole shard runs on native integers.
+// Counts beyond two words use big.Int arithmetic throughout.
+type Kernel string
+
+const (
+	// KernelUint64 holds tallies in a single machine word.
+	KernelUint64 Kernel = "uint64"
+	// KernelUint128 holds tallies in a two-word lo/hi pair with carries.
+	KernelUint128 Kernel = "uint128"
+	// KernelBigInt is the arbitrary-precision fallback.
+	KernelBigInt Kernel = "bigint"
+)
+
+// KernelForSize returns the narrowest kernel whose width provably holds
+// any count of a sweep over a space of the given total size.
+func KernelForSize(total *big.Int) Kernel {
+	switch bl := total.BitLen(); {
+	case bl <= 64:
+		return KernelUint64
+	case bl <= 128:
+		return KernelUint128
+	default:
+		return KernelBigInt
+	}
+}
+
+// Kernel returns the accumulator kernel counting sweeps over this engine
+// select, derived from the full valuation-space size (counts of the full
+// space bound counts of the pruned one times the multiplier).
+func (e *Engine) Kernel() Kernel { return KernelForSize(e.total) }
+
+// Wider returns the wider of the two kernels — the one whose tallies
+// subsume the other's. The empty kernel is narrower than every real one.
+func (k Kernel) Wider(o Kernel) Kernel {
+	if kernelRank(o) > kernelRank(k) {
+		return o
+	}
+	return k
+}
+
+func kernelRank(k Kernel) int {
+	switch k {
+	case KernelUint64:
+		return 1
+	case KernelUint128:
+		return 2
+	case KernelBigInt:
+		return 3
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestKernelForSize pins the width thresholds: the kernel is a proof that
+// any count bounded by the space size fits the chosen representation, so
+// the boundaries sit exactly at 2^64 and 2^128.
+func TestKernelForSize(t *testing.T) {
+	two64 := new(big.Int).Lsh(big.NewInt(1), 64)
+	two128 := new(big.Int).Lsh(big.NewInt(1), 128)
+	cases := []struct {
+		size *big.Int
+		want Kernel
+	}{
+		{big.NewInt(0), KernelUint64},
+		{big.NewInt(1), KernelUint64},
+		{new(big.Int).Sub(two64, big.NewInt(1)), KernelUint64},
+		{two64, KernelUint128},
+		{new(big.Int).Sub(two128, big.NewInt(1)), KernelUint128},
+		{two128, KernelBigInt},
+		{new(big.Int).Lsh(big.NewInt(1), 200), KernelBigInt},
+	}
+	for i, c := range cases {
+		if got := KernelForSize(c.size); got != c.want {
+			t.Errorf("case %d: KernelForSize(%v) = %q, want %q", i, c.size, got, c.want)
+		}
+	}
+}
+
+// TestKernelWider pins the promotion lattice used when a plan folds the
+// kernels of several sweep nodes.
+func TestKernelWider(t *testing.T) {
+	var empty Kernel
+	cases := []struct {
+		a, b, want Kernel
+	}{
+		{empty, KernelUint64, KernelUint64},
+		{KernelUint64, empty, KernelUint64},
+		{KernelUint64, KernelUint128, KernelUint128},
+		{KernelBigInt, KernelUint128, KernelBigInt},
+		{KernelUint64, KernelUint64, KernelUint64},
+	}
+	for i, c := range cases {
+		if got := c.a.Wider(c.b); got != c.want {
+			t.Errorf("case %d: %q.Wider(%q) = %q, want %q", i, c.a, c.b, got, c.want)
+		}
+	}
+}

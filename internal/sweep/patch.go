@@ -24,6 +24,17 @@ import (
 // all existing cursors of the engine (digit layout and arena size change);
 // create fresh cursors after patching.
 func (e *Engine) Patch(db *core.Database, d core.Delta) bool {
+	ok := e.patchOne(db, d)
+	if ok {
+		// The bitset plan indexes live-fact ordinals, digit slot lists and
+		// the interned value range, all of which a patch can change;
+		// recompile it against the patched arena.
+		e.buildBitsets()
+	}
+	return ok
+}
+
+func (e *Engine) patchOne(db *core.Database, d core.Delta) bool {
 	switch d.Op {
 	case core.DeltaAddFact:
 		return e.patchAddFact(db, d.Fact)

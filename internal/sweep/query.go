@@ -133,7 +133,12 @@ func (c *Cursor) evalDisjunct(di int) bool {
 	}
 	asg, bound := c.asg[di], c.bound[di]
 	c.tp = 0
-	res := c.evalAtoms(b, asg, bound, 0)
+	var res bool
+	if c.bits != nil {
+		res = c.evalAtomsBits(b, c.bits.atoms[di], asg, bound, 0)
+	} else {
+		res = c.evalAtoms(b, asg, bound, 0)
+	}
 	// A successful match returns early with its bindings still on the
 	// trail; unwind them so the next evaluation starts clean.
 	for c.tp > 0 {
