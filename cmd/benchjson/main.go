@@ -149,6 +149,35 @@ func pctDelta(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
+// Regressions lists the gated benchmarks whose ns/op regressed more
+// than maxPct against the baseline, plus gated baseline benchmarks the
+// current run silently dropped. Only names matching gate are checked:
+// the gate is meant to select the tier-1 micro set — benchmarks big
+// enough for single-iteration CI timings to be stable — while the rest
+// of the suite stays informational.
+func Regressions(baseline, current *Doc, gate *regexp.Regexp, maxPct float64) []string {
+	var out []string
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		if gate.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: gated benchmark missing from this run", name))
+			continue
+		}
+		if d := pctDelta(base.NsPerOp, cur.NsPerOp); d > maxPct {
+			out = append(out, fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.1f%%)", name, d, maxPct))
+		}
+	}
+	return out
+}
+
 // onlyIn lists the benchmark names a has and b lacks, sorted.
 func onlyIn(a, b *Doc) []string {
 	var out []string
@@ -163,6 +192,8 @@ func onlyIn(a, b *Doc) []string {
 
 func main() {
 	baselinePath := flag.String("baseline", "", "archived benchjson document to compare stdin against (prints a delta report instead of JSON)")
+	gateExpr := flag.String("gate", "", "with -baseline: regexp selecting the benchmarks the -max-regress assertion applies to")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline and -gate: exit nonzero when a gated benchmark's ns/op regresses more than this percentage, or vanishes")
 	flag.Parse()
 	doc, err := Parse(os.Stdin)
 	if err != nil {
@@ -181,6 +212,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("benchmark deltas vs %s:\n%s", *baselinePath, Compare(&baseline, doc))
+		if *gateExpr != "" && *maxRegress > 0 {
+			gate, err := regexp.Compile(*gateExpr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+				os.Exit(1)
+			}
+			if bad := Regressions(&baseline, doc, gate, *maxRegress); len(bad) > 0 {
+				for _, line := range bad {
+					fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", line)
+				}
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -84,6 +85,34 @@ func TestCompareDisjoint(t *testing.T) {
 	report := Compare(a, b)
 	if !strings.Contains(report, "NEW") || !strings.Contains(report, "MISSING") {
 		t.Errorf("disjoint report:\n%s", report)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	base := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkValBruteParallel/workers=1":  {NsPerOp: 100},
+		"BenchmarkCompBruteParallel/workers=1": {NsPerOp: 100},
+		"BenchmarkNoisyMicro":                  {NsPerOp: 10},
+	}}
+	cur := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkValBruteParallel/workers=1": {NsPerOp: 115}, // +15%: inside the limit
+		"BenchmarkNoisyMicro":                 {NsPerOp: 100}, // +900%, but not gated
+	}}
+	gate := regexp.MustCompile(`^Benchmark(Val|Comp)BruteParallel`)
+	if bad := Regressions(base, cur, gate, 20); len(bad) != 1 ||
+		!strings.Contains(bad[0], "BenchmarkCompBruteParallel/workers=1") ||
+		!strings.Contains(bad[0], "missing") {
+		t.Fatalf("want one missing-benchmark violation, got %q", bad)
+	}
+	cur.Benchmarks["BenchmarkCompBruteParallel/workers=1"] = Result{NsPerOp: 121} // +21%
+	bad := Regressions(base, cur, gate, 20)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkCompBruteParallel/workers=1") ||
+		!strings.Contains(bad[0], "+21.0%") {
+		t.Fatalf("want one over-limit violation, got %q", bad)
+	}
+	cur.Benchmarks["BenchmarkCompBruteParallel/workers=1"] = Result{NsPerOp: 50} // improvement
+	if bad := Regressions(base, cur, gate, 20); len(bad) != 0 {
+		t.Fatalf("improvement flagged as regression: %q", bad)
 	}
 }
 

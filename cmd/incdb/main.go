@@ -100,15 +100,18 @@ commands:
   classify -q QUERY              classify an sjfBCQ under all eight variants (Table 1)
   table1                         print the dichotomy table of the paper
   count -db FILE -q QUERY        count valuations/completions (-kind val|comp|all-comp,
-                                 -workers N, -timeout D)
+                                 -workers N, -timeout D; -no-bitsets and -syntactic-order
+                                 pin the scalar kernel / the query's own atom order)
   explain -db FILE -q QUERY      compile and render the query plan without executing it
-                                 (-kind val|comp, -max N, -max-cylinders N, -timeout D)
+                                 (-kind val|comp, -max N, -max-cylinders N, -timeout D,
+                                 -no-bitsets, -syntactic-order)
   estimate -db FILE -q QUERY     Karp–Luby FPRAS for #Val (-eps, -delta, -seed, -timeout D)
   serve                          HTTP/JSON counting service (-addr, -cache, -max, -workers,
                                  -jobs, -db FILE preloads the live mutable session;
                                  -jobdir DIR makes jobs durable: checkpointed sweeps
                                  resume across restarts; -job-ttl, -max-concurrent-jobs,
-                                 -max-queued-jobs, -checkpoint-interval tune the queue)
+                                 -max-queued-jobs, -checkpoint-interval tune the queue;
+                                 -pprof exposes /debug/pprof/ for profiling live sweeps)
   loadgen -addr URL              drive a running server with a weighted operation mix and
                                  report throughput + latency histograms (-duration, -workers,
                                  -profile "count=4,jobs=1", -anchor N, -json, -out FILE, -check)
@@ -203,6 +206,8 @@ func cmdCount(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "parallel workers for brute-force sweeps (0 = one per CPU, 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "abort counting after this long, e.g. 30s (0 = no timeout)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (count, method, duration)")
+	noBitsets := fs.Bool("no-bitsets", false, "pin the scalar membership path (disable the bitset kernel)")
+	synOrder := fs.Bool("syntactic-order", false, "pin the query's own atom order (disable cost-driven reordering)")
 	fs.Parse(args)
 	if *dbPath == "" || (*qstr == "" && *kind != "all-comp") {
 		return fmt.Errorf("count: -db and -q are required")
@@ -217,7 +222,8 @@ func cmdCount(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		req := server.Request{Op: server.OpCount, Database: string(raw), Query: *qstr, Kind: *kind}
+		req := server.Request{Op: server.OpCount, Database: string(raw), Query: *qstr, Kind: *kind,
+			DisableBitsets: *noBitsets, SyntacticOrder: *synOrder}
 		if *kind == "all-comp" {
 			// #Comp(TRUE) counts all completions.
 			req.Query, req.Kind = "TRUE", server.KindComp
@@ -234,13 +240,17 @@ func cmdCount(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	var copts *incdb.CountOptions
+	if *noBitsets || *synOrder {
+		copts = &incdb.CountOptions{DisableBitsets: *noBitsets, SyntacticOrder: *synOrder}
+	}
 	switch *kind {
 	case "val":
 		q, err := incdb.ParseQuery(*qstr)
 		if err != nil {
 			return err
 		}
-		res, err := pdb.Count(ctx, q, incdb.Valuations)
+		res, err := pdb.CountWith(ctx, q, incdb.Valuations, copts)
 		if err != nil {
 			return err
 		}
@@ -250,13 +260,13 @@ func cmdCount(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := pdb.Count(ctx, q, incdb.Completions)
+		res, err := pdb.CountWith(ctx, q, incdb.Completions, copts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("#Comp(%v) = %v   [%s]\n", q, res.Count, res.Method)
 	case "all-comp":
-		res, err := pdb.AllCompletions(ctx)
+		res, err := pdb.AllCompletionsWith(ctx, copts)
 		if err != nil {
 			return err
 		}
@@ -280,6 +290,8 @@ func cmdExplain(ctx context.Context, args []string) error {
 	maxCyl := fs.Int("max-cylinders", 0, "cylinder inclusion–exclusion cap (0 = default 18, negative disables)")
 	timeout := fs.Duration("timeout", 0, "abandon the command after this long, e.g. 30s (0 = no timeout)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the serve API's explain response)")
+	noBitsets := fs.Bool("no-bitsets", false, "plan with the scalar membership path (disable the bitset kernel)")
+	synOrder := fs.Bool("syntactic-order", false, "plan with the query's own atom order (disable cost-driven reordering)")
 	fs.Parse(args)
 	if *dbPath == "" || *qstr == "" {
 		return fmt.Errorf("explain: -db and -q are required")
@@ -294,7 +306,8 @@ func cmdExplain(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		req := server.Request{Op: server.OpExplain, Database: string(raw), Query: *qstr, Kind: *kind, MaxValuations: *maxVals, MaxCylinders: *maxCyl}
+		req := server.Request{Op: server.OpExplain, Database: string(raw), Query: *qstr, Kind: *kind, MaxValuations: *maxVals, MaxCylinders: *maxCyl,
+			DisableBitsets: *noBitsets, SyntacticOrder: *synOrder}
 		// The embedded server's caps mirror the flags, so the request is
 		// never clamped below what text mode plans with.
 		return execJSON(ctx, server.Config{MaxValuations: *maxVals, MaxCylinders: *maxCyl}, req)
@@ -324,9 +337,13 @@ func cmdExplain(ctx context.Context, args []string) error {
 		p   *incdb.Plan
 		err error
 	}
+	var eopts *incdb.CountOptions
+	if *noBitsets || *synOrder {
+		eopts = &incdb.CountOptions{DisableBitsets: *noBitsets, SyntacticOrder: *synOrder}
+	}
 	ch := make(chan planned, 1)
 	go func() {
-		p, err := pdb.Explain(q, ckind)
+		p, err := pdb.ExplainWith(q, ckind, eopts)
 		ch <- planned{p, err}
 	}()
 	select {
@@ -399,6 +416,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxConcurrent := fs.Int("max-concurrent-jobs", jobs.DefaultMaxConcurrent, "async jobs sweeping at once; excess admissions queue")
 	maxQueued := fs.Int("max-queued-jobs", jobs.DefaultMaxQueue, "admission queue bound; submissions beyond it get HTTP 429")
 	ckptInterval := fs.Duration("checkpoint-interval", jobs.DefaultPersistInterval, "how often running jobs' sweep checkpoints are persisted")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live sweeps)")
 	fs.Parse(args)
 	cfg := server.Config{
 		CacheSize:          *cacheSize,
@@ -410,6 +428,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		MaxQueuedJobs:      *maxQueued,
 		JobTTL:             *jobTTL,
 		JobPersistInterval: *ckptInterval,
+		Pprof:              *pprofOn,
 	}
 	if *jobDir != "" {
 		store, err := jobs.NewFileStore(*jobDir)
@@ -453,7 +472,7 @@ func cmdLoadgen(ctx context.Context, args []string) error {
 	duration := fs.Duration("duration", 15*time.Second, "how long to generate load")
 	warmup := fs.Duration("warmup", time.Second, "initial unrecorded slice of the run (negative disables)")
 	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
-	profile := fs.String("profile", "", `operation mix as "op=weight,..." over classify, count, estimate, mutate, jobs (default "count=4,classify=2,estimate=1,mutate=1,jobs=1")`)
+	profile := fs.String("profile", "", `operation mix as "op=weight,..." over classify, count, comp, estimate, mutate, jobs (default "count=4,comp=2,classify=2,estimate=1,mutate=1,jobs=1")`)
 	maxOps := fs.Int64("max-ops", 0, "stop after this many recorded operations (0 = unlimited)")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	anchor := fs.Int64("anchor", 0, "also run one long checkpointed brute-force job of this sweep size (e.g. 1073741824), cancelled after the run")

@@ -84,6 +84,22 @@ type Options struct {
 	// options; see NewCheckpointer.
 	Checkpoint *Checkpointer
 
+	// DisableBitsets pins the scalar membership path of the sweep engine:
+	// no bitset-compiled matching plan is built. An escape hatch for
+	// debugging and for A/B-ing the kernels; counts are identical either
+	// way.
+	DisableBitsets bool
+
+	// SyntacticOrder pins the query's own (syntactic) atom order instead
+	// of the engine's cost-driven most-bound-first reordering. An escape
+	// hatch; counts are identical either way.
+	SyntacticOrder bool
+
+	// Phases, when non-nil, receives sampled per-phase wall-time
+	// estimates (step/match/dedup) from the brute-force sweeps run under
+	// these options. See PhaseTimes.
+	Phases *PhaseTimes
+
 	// FactorMemo, when non-nil, caches the counts of the independent
 	// components of factorized plans (OpFactor/OpFactorUnion children)
 	// across plan executions: the executor consults it before computing a
@@ -116,7 +132,27 @@ func (o *Options) planOptions() *plan.Options {
 	if o == nil {
 		return nil
 	}
-	return &plan.Options{MaxValuations: o.MaxValuations, MaxCylinders: o.MaxCylinders}
+	return &plan.Options{
+		MaxValuations:  o.MaxValuations,
+		MaxCylinders:   o.MaxCylinders,
+		DisableBitsets: o.DisableBitsets,
+		SyntacticOrder: o.SyntacticOrder,
+	}
+}
+
+// compileOptions projects the counting options onto the sweep compiler's.
+func (o *Options) compileOptions() sweep.CompileOptions {
+	if o == nil {
+		return sweep.CompileOptions{}
+	}
+	return sweep.CompileOptions{DisableBitsets: o.DisableBitsets, SyntacticOrder: o.SyntacticOrder}
+}
+
+func (o *Options) phases() *PhaseTimes {
+	if o == nil {
+		return nil
+	}
+	return o.Phases
 }
 
 // defaultMaxValuations is the default guard as a shared big.Int, so the
@@ -174,7 +210,7 @@ func (o *Options) withRejected(notes []string) *Options {
 // brute-force guard to the size of the space the engine will actually
 // enumerate (after relevant-null pruning, in ModeValuations).
 func compileGuarded(db *core.Database, q cq.Query, mode sweep.Mode, opts *Options) (*sweep.Engine, error) {
-	eng, err := sweep.Compile(db, q, mode)
+	eng, err := sweep.CompileWith(db, q, mode, opts.compileOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +262,7 @@ func sweepValuationsOnEngine(eng *sweep.Engine, opts *Options) (*big.Int, error)
 	}
 	shards := shardCount(eng.Size(), opts)
 	counts := newTallies(shards, kernelFor(eng))
-	err := sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+	err := sweepSharded(eng, opts.context(), shards, opts.progress(), opts.phases(), func(shard int, cur *sweep.Cursor) bool {
 		if cur.Matches() {
 			counts[shard].inc()
 		}
@@ -251,7 +287,7 @@ func sweepValuationsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpoin
 	visited := make([]int64, len(st.starts))
 	sincePub := make([]int64, len(st.starts))
 	pos := make([]big.Int, len(st.starts))
-	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), opts.phases(), func(shard int, cur *sweep.Cursor) bool {
 		if cur.Matches() {
 			counts[shard].inc()
 		}
@@ -354,8 +390,9 @@ func completionSweepOnEngine(eng *sweep.Engine, opts *Options, keepInstances boo
 	perShard := make([]*completionShard, shards)
 	for i := range perShard {
 		perShard[i] = newCompletionShard(keepInstances)
+		perShard[i].timing = opts.phases()
 	}
-	err := sweepSharded(eng, opts.context(), shards, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+	err := sweepSharded(eng, opts.context(), shards, opts.progress(), opts.phases(), func(shard int, cur *sweep.Cursor) bool {
 		perShard[shard].visit(cur)
 		return true
 	})
@@ -378,12 +415,13 @@ func sweepCompletionsCheckpointed(eng *sweep.Engine, opts *Options, ck *Checkpoi
 	perShard := make([]*completionShard, len(st.starts))
 	for i := range perShard {
 		perShard[i] = newCompletionShard(false)
+		perShard[i].timing = opts.phases()
 		perShard[i].restore(st.entriesAt(i))
 	}
 	visited := make([]int64, len(st.starts))
 	sincePub := make([]int64, len(st.starts))
 	pos := make([]big.Int, len(st.starts))
-	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), func(shard int, cur *sweep.Cursor) bool {
+	err := sweepShardedFrom(eng, opts.context(), st.bounds, st.starts, opts.progress(), opts.phases(), func(shard int, cur *sweep.Cursor) bool {
 		perShard[shard].visit(cur)
 		visited[shard]++
 		if sincePub[shard]++; sincePub[shard] >= ck.stride {

@@ -1,0 +1,170 @@
+package count
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/incompletedb/incompletedb/internal/core"
+	"github.com/incompletedb/incompletedb/internal/cq"
+)
+
+// Tests pinning the Options escape hatches — DisableBitsets and
+// SyntacticOrder — to bit-identical results: whatever kernel and atom
+// order the sweep runs with, the #Val count and the exact deduplicated
+// completion sequence (first-seen order and verdicts included) must not
+// change, and a checkpoint written under one combination must resume
+// cleanly under another.
+
+// hatchCombos spans the four escape-hatch combinations; the last one —
+// scalar kernel, syntactic order — is the pre-optimization engine shape.
+var hatchCombos = []Options{
+	{},
+	{DisableBitsets: true},
+	{SyntacticOrder: true},
+	{DisableBitsets: true, SyntacticOrder: true},
+}
+
+// TestEscapeHatchCountsBitIdentical: random naïve, Codd and uniform
+// databases counted under every escape-hatch combination and worker
+// count produce the identical #Val count and completion signature.
+func TestEscapeHatchCountsBitIdentical(t *testing.T) {
+	schema := map[string]int{"R": 2, "S": 1}
+	q := cq.MustParseBCQ("R(x, y) ∧ S(y)")
+	builders := map[string]func(r *rand.Rand) *core.Database{
+		"naive":   func(r *rand.Rand) *core.Database { return randomNaiveDB(r, schema, 4, 5, 3) },
+		"codd":    func(r *rand.Rand) *core.Database { return randomCoddDB(r, schema, 4, 3) },
+		"uniform": func(r *rand.Rand) *core.Database { return randomUniformDB(r, schema, 4, 5, 3) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				db := build(r)
+				var wantV *big.Int
+				var wantSig []string
+				for ci, combo := range hatchCombos {
+					opts := combo
+					opts.Workers = 1 + int(seed)%4
+					gotV, err := BruteForceValuations(db, q, &opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotC, err := bruteCompletionSweep(db, q, &opts, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotSig := completionSig(gotC)
+					if ci == 0 {
+						wantV, wantSig = gotV, gotSig
+						continue
+					}
+					if gotV.Cmp(wantV) != 0 {
+						t.Fatalf("seed %d combo %+v: #Val %v, default gave %v", seed, combo, gotV, wantV)
+					}
+					if len(gotSig) != len(wantSig) {
+						t.Fatalf("seed %d combo %+v: %d completions, default saw %d",
+							seed, combo, len(gotSig), len(wantSig))
+					}
+					for i := range wantSig {
+						if gotSig[i] != wantSig[i] {
+							t.Fatalf("seed %d combo %+v: completion %d differs:\n got %s\nwant %s",
+								seed, combo, i, gotSig[i], wantSig[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeAcrossOrderModes: a sweep killed under one
+// escape-hatch combination and resumed under another — in particular a
+// checkpoint written by the pre-optimization scalar syntactic-order
+// engine picked up by the default cost-ordered bitset engine — must
+// finish with bit-identical results. The checkpoint format carries shard
+// frontiers and canonical completion encodings, none of which depend on
+// the compile options.
+func TestCheckpointResumeAcrossOrderModes(t *testing.T) {
+	db := core.NewUniformDatabase([]string{"a", "b", "c"})
+	for i := 0; i < 10; i += 2 { // 3^11 valuations: kills always land
+		db.MustAddFact("R", core.Null(core.NullID(i+1)), core.Null(core.NullID(i+2)))
+	}
+	db.MustAddFact("S", core.Null(11))
+	q := cq.MustParseBCQ("R(x, y) ∧ S(y)")
+	plain := &Options{Workers: 2}
+	wantV, err := BruteForceValuations(db, q, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := bruteCompletionSweep(db, q, plain, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSig := completionSig(wantC)
+
+	legacy := Options{DisableBitsets: true, SyntacticOrder: true}
+	modern := Options{}
+	dirs := []struct {
+		name          string
+		first, second Options
+	}{
+		{"legacy-to-modern", legacy, modern},
+		{"modern-to-legacy", modern, legacy},
+	}
+	for _, dir := range dirs {
+		t.Run(dir.name, func(t *testing.T) {
+			for _, completions := range []bool{false, true} {
+				t.Run(fmt.Sprintf("completions=%v", completions), func(t *testing.T) {
+					ck := NewCheckpointer(killStride, nil)
+					ctx, cancel := context.WithCancel(context.Background())
+					ck.onPublish = func(n int) {
+						if n == 2 {
+							cancel()
+						}
+					}
+					o1 := dir.first
+					o1.Workers, o1.Context, o1.Checkpoint = 2, ctx, ck
+					var err error
+					if completions {
+						_, err = bruteCompletionSweep(db, q, &o1, false)
+					} else {
+						_, err = BruteForceValuations(db, q, &o1)
+					}
+					cancel()
+					if err != context.Canceled {
+						t.Fatalf("first leg err = %v, want context.Canceled", err)
+					}
+					resume := roundTrip(t, ck.Snapshot())
+					o2 := dir.second
+					o2.Workers, o2.Checkpoint = 2, NewCheckpointer(killStride, resume)
+					if completions {
+						gotC, err := bruteCompletionSweep(db, q, &o2, false)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotSig := completionSig(gotC)
+						if len(gotSig) != len(wantSig) {
+							t.Fatalf("resumed sweep saw %d completions, want %d", len(gotSig), len(wantSig))
+						}
+						for i := range wantSig {
+							if gotSig[i] != wantSig[i] {
+								t.Fatalf("completion %d differs:\n got %s\nwant %s", i, gotSig[i], wantSig[i])
+							}
+						}
+					} else {
+						gotV, err := BruteForceValuations(db, q, &o2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotV.Cmp(wantV) != 0 {
+							t.Fatalf("resumed #Val %v, want %v", gotV, wantV)
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -3,8 +3,11 @@ package count
 import (
 	"context"
 	"math/big"
+	"runtime/pprof"
 	"slices"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/sweep"
@@ -78,7 +81,7 @@ func shardBounds(size *big.Int, shards int) []*big.Int {
 // once with (0, shards) before enumeration starts, then with the new
 // completed-shard count each time a shard finishes without the sweep
 // having been cancelled. A progressTracker serializes the calls.
-func sweepSharded(eng *sweep.Engine, ctx context.Context, shards int, progress func(done, total int), visit func(shard int, cur *sweep.Cursor) bool) error {
+func sweepSharded(eng *sweep.Engine, ctx context.Context, shards int, progress func(done, total int), phases *PhaseTimes, visit func(shard int, cur *sweep.Cursor) bool) error {
 	size := eng.Size()
 	if size.Sign() == 0 {
 		tracker := newProgressTracker(progress, shards)
@@ -86,7 +89,20 @@ func sweepSharded(eng *sweep.Engine, ctx context.Context, shards int, progress f
 		return ctx.Err()
 	}
 	bounds := shardBounds(size, shards)
-	return sweepShardedFrom(eng, ctx, bounds, bounds[:shards], progress, visit)
+	return sweepShardedFrom(eng, ctx, bounds, bounds[:shards], progress, phases, visit)
+}
+
+// sweepModeLabel names the engine's mode for the pprof labels the shard
+// goroutines run under.
+func sweepModeLabel(eng *sweep.Engine) string {
+	switch eng.Mode() {
+	case sweep.ModeCompletions:
+		return "completions"
+	case sweep.ModeSample:
+		return "sample"
+	default:
+		return "valuations"
+	}
 }
 
 // sweepShardedFrom is sweepSharded over explicit shard geometry: bounds
@@ -95,23 +111,28 @@ func sweepSharded(eng *sweep.Engine, ctx context.Context, shards int, progress f
 // bounds[i] on a fresh sweep, past it when resuming from a checkpoint (a
 // shard whose start has reached its upper bound is already complete and
 // is not re-entered).
-func sweepShardedFrom(eng *sweep.Engine, ctx context.Context, bounds, starts []*big.Int, progress func(done, total int), visit func(shard int, cur *sweep.Cursor) bool) error {
+func sweepShardedFrom(eng *sweep.Engine, ctx context.Context, bounds, starts []*big.Int, progress func(done, total int), phases *PhaseTimes, visit func(shard int, cur *sweep.Cursor) bool) error {
 	shards := len(starts)
 	tracker := newProgressTracker(progress, shards)
 	if shards == 1 {
-		if err := sweepShard(eng, ctx, starts[0], bounds[1], 0, visit); err != nil {
+		if err := sweepShard(eng, ctx, starts[0], bounds[1], 0, phases, visit); err != nil {
 			return err
 		}
 		tracker.shardDone(ctx)
 		return ctx.Err()
 	}
 	errs := make([]error, shards)
+	mode := sweepModeLabel(eng)
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = sweepShard(eng, ctx, starts[w], bounds[w+1], w, visit)
+			// Label the shard goroutine so pprof profiles break the
+			// sweep down by shard and mode.
+			pprof.Do(ctx, pprof.Labels("sweep_shard", strconv.Itoa(w), "sweep_mode", mode), func(ctx context.Context) {
+				errs[w] = sweepShard(eng, ctx, starts[w], bounds[w+1], w, phases, visit)
+			})
 			if errs[w] == nil {
 				tracker.shardDone(ctx)
 			}
@@ -172,8 +193,13 @@ func (t *progressTracker) finishAll(ctx context.Context) {
 // sweepShard sweeps one contiguous index interval with a fresh cursor,
 // polling ctx every cancelCheckInterval valuations. A Seek error (an
 // invalid interval) must propagate: swallowing it would turn a partial
-// sweep into a silent undercount.
-func sweepShard(eng *sweep.Engine, ctx context.Context, lo, hi *big.Int, shard int, visit func(int, *sweep.Cursor) bool) error {
+// sweep into a silent undercount. With phases non-nil, one visit in
+// phaseSampleStride is timed and the scaled estimate accumulated: the
+// visit goes to the dedup phase on completion sweeps (where the visit is
+// the dedup probe — the rare first-sight query evaluation inside it is
+// timed separately by the completion shard) and to the match phase
+// otherwise.
+func sweepShard(eng *sweep.Engine, ctx context.Context, lo, hi *big.Int, shard int, phases *PhaseTimes, visit func(int, *sweep.Cursor) bool) error {
 	n := new(big.Int).Sub(hi, lo)
 	if n.Sign() == 0 {
 		return nil
@@ -182,6 +208,8 @@ func sweepShard(eng *sweep.Engine, ctx context.Context, lo, hi *big.Int, shard i
 	if err := cur.Seek(lo); err != nil {
 		return err
 	}
+	dedupVisits := eng.Mode() == sweep.ModeCompletions
+	sinceSample := 0
 	sinceCheck := 0
 	if n.IsInt64() {
 		for remaining := n.Int64(); ; {
@@ -189,6 +217,29 @@ func sweepShard(eng *sweep.Engine, ctx context.Context, lo, hi *big.Int, shard i
 				sinceCheck = 0
 				if ctx.Err() != nil {
 					return nil
+				}
+			}
+			if phases != nil {
+				if sinceSample++; sinceSample >= phaseSampleStride {
+					sinceSample = 0
+					t0 := time.Now()
+					ok := visit(shard, cur)
+					d := time.Since(t0)
+					if dedupVisits {
+						phases.addDedup(d, phaseSampleStride)
+					} else {
+						phases.addMatch(d, phaseSampleStride)
+					}
+					if !ok {
+						return nil
+					}
+					if remaining--; remaining == 0 {
+						return nil
+					}
+					t0 = time.Now()
+					cur.Step()
+					phases.addStep(time.Since(t0), phaseSampleStride)
+					continue
 				}
 			}
 			if !visit(shard, cur) {
@@ -232,14 +283,30 @@ type compEntry struct {
 }
 
 // completionShard is the shard-local state of a sweep that deduplicates
-// completions: the distinct completions in first-seen order and a bucket
-// map from completion hash to the entries bearing it. Buckets almost
-// always hold one entry; a genuine 128-bit collision adds a second, found
-// by the exact snapshot comparison.
+// completions: the distinct completions in first-seen order and an
+// open-addressed linear-probe table over them keyed directly by the
+// 128-bit completion sum — the sum is already a uniform hash, so probing
+// needs no re-hashing and the common repeat visit costs one table load
+// plus one exact snapshot comparison. A genuine 128-bit collision simply
+// extends the probe chain; the snapshot comparison keeps it exact.
 type completionShard struct {
-	order   []*compEntry
-	buckets map[sweep.Hash128][]*compEntry
-	keep    bool
+	order []*compEntry
+	table []int32 // linear-probe index into order; -1 is empty
+	mask  uint32
+	keep  bool
+
+	// lastGen is the cursor SetGen observed by the previous visit: an
+	// equal generation proves the step moved only duplicated facts, so
+	// the completion is the one just recorded and the visit is free.
+	lastGen uint64
+
+	// snapBuf is the canonical-encoding scratch reused across this
+	// shard's first-sight snapshots.
+	snapBuf []uint32
+
+	// timing, when non-nil, receives the (rare) first-sight query
+	// evaluation times — the match phase of a completion sweep.
+	timing *PhaseTimes
 
 	// pendingFrom is the index in order up to which entries have been
 	// drained into a checkpoint (see drainPending); entries before it are
@@ -248,31 +315,86 @@ type completionShard struct {
 }
 
 func newCompletionShard(keepInstances bool) *completionShard {
-	return &completionShard{
-		buckets: make(map[sweep.Hash128][]*compEntry),
-		keep:    keepInstances,
+	s := &completionShard{keep: keepInstances}
+	s.initTable(64)
+	return s
+}
+
+func (s *completionShard) initTable(size int) {
+	s.table = make([]int32, size)
+	for i := range s.table {
+		s.table[i] = -1
+	}
+	s.mask = uint32(size - 1)
+}
+
+func (s *completionShard) growTable() {
+	s.initTable(2 * len(s.table))
+	for j, e := range s.order {
+		i := uint32(e.hash.Lo) & s.mask
+		for s.table[i] >= 0 {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = int32(j)
 	}
 }
 
 // visit records the cursor's current completion, snapshotting it and
 // evaluating the query only the first time the completion is seen within
-// this shard; repeat visits cost one bucket probe and one exact
-// comparison against the cursor's incremental per-fact hashes.
+// this shard. A repeat visit whose step changed no distinct fact value is
+// skipped outright via the cursor's SetGen; other repeats cost one probe
+// and one exact comparison against the cursor's incremental hashes.
 func (s *completionShard) visit(cur *sweep.Cursor) {
+	g := cur.SetGen()
+	if g == s.lastGen {
+		return
+	}
+	s.lastGen = g
 	h := cur.CompletionHash()
-	bucket := s.buckets[h]
-	for _, e := range bucket {
-		if cur.EqualsSnapshot(e.snap) {
+	i := uint32(h.Lo) & s.mask
+	for s.table[i] >= 0 {
+		m := s.order[s.table[i]]
+		if m.hash == h && cur.EqualsSnapshot(m.snap) {
 			return
 		}
+		i = (i + 1) & s.mask
 	}
-	e := &compEntry{hash: h, snap: cur.Snapshot()}
+	var snap *sweep.Snapshot
+	snap, s.snapBuf = cur.SnapshotUsing(s.snapBuf)
+	e := &compEntry{hash: h, snap: snap}
 	if s.keep {
 		e.inst = cur.Instance()
 	}
-	e.sat = cur.MatchesUsing(e.inst)
-	s.buckets[h] = append(bucket, e)
+	if s.timing != nil {
+		t0 := time.Now()
+		e.sat = cur.MatchesUsing(e.inst)
+		s.timing.addMatch(time.Since(t0), 1)
+	} else {
+		e.sat = cur.MatchesUsing(e.inst)
+	}
+	s.table[i] = int32(len(s.order))
 	s.order = append(s.order, e)
+	if 2*len(s.order) > len(s.table) {
+		s.growTable()
+	}
+}
+
+// add inserts an existing entry unless an equal completion (by canonical
+// encoding) is already present — the merge and restore path.
+func (s *completionShard) add(e *compEntry) {
+	i := uint32(e.hash.Lo) & s.mask
+	for s.table[i] >= 0 {
+		m := s.order[s.table[i]]
+		if m.hash == e.hash && slices.Equal(m.snap.Canonical, e.snap.Canonical) {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+	s.table[i] = int32(len(s.order))
+	s.order = append(s.order, e)
+	if 2*len(s.order) > len(s.table) {
+		s.growTable()
+	}
 }
 
 // restore seeds the shard's dedup state with entries rehydrated from a
@@ -280,8 +402,7 @@ func (s *completionShard) visit(cur *sweep.Cursor) {
 // only what it sees after the resume point.
 func (s *completionShard) restore(entries []*compEntry) {
 	for _, e := range entries {
-		s.buckets[e.hash] = append(s.buckets[e.hash], e)
-		s.order = append(s.order, e)
+		s.add(e)
 	}
 	s.pendingFrom = len(s.order)
 }
@@ -313,19 +434,7 @@ func mergeCompletionShards(shards []*completionShard) *completionShard {
 	merged := newCompletionShard(shards[0].keep)
 	for _, s := range shards {
 		for _, e := range s.order {
-			bucket := merged.buckets[e.hash]
-			dup := false
-			for _, m := range bucket {
-				if slices.Equal(m.snap.Canonical, e.snap.Canonical) {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			merged.buckets[e.hash] = append(bucket, e)
-			merged.order = append(merged.order, e)
+			merged.add(e)
 		}
 	}
 	return merged

@@ -1,0 +1,40 @@
+package count
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// phaseSampleStride is how many visits a shard advances between timed
+// samples: one in phaseSampleStride iterations pays two clock reads, the
+// rest run unmetered, so the hot loop keeps its shape while the sampled
+// estimate converges within a stride of the true split.
+const phaseSampleStride = 64
+
+// PhaseTimes accumulates the per-phase wall time of a brute-force sweep,
+// split into the three phases of the visit loop: stepping the odometer,
+// evaluating the query, and deduplicating completions. Shards sample one
+// visit in phaseSampleStride and accumulate the scaled estimate
+// atomically, so a populated PhaseTimes approximates the total time each
+// phase consumed across all workers (not wall-clock: concurrent shards
+// add up). The zero value is ready for use and may be reused across
+// sweeps — times accumulate.
+type PhaseTimes struct {
+	step  atomic.Int64 // ns, scaled to estimate the full sweep
+	match atomic.Int64
+	dedup atomic.Int64
+}
+
+// Step estimates the total time spent advancing cursors.
+func (p *PhaseTimes) Step() time.Duration { return time.Duration(p.step.Load()) }
+
+// Match estimates the total time spent evaluating the query.
+func (p *PhaseTimes) Match() time.Duration { return time.Duration(p.match.Load()) }
+
+// Dedup estimates the total time spent deduplicating completions
+// (zero for valuation sweeps, which do not deduplicate).
+func (p *PhaseTimes) Dedup() time.Duration { return time.Duration(p.dedup.Load()) }
+
+func (p *PhaseTimes) addStep(d time.Duration, scale int64)  { p.step.Add(int64(d) * scale) }
+func (p *PhaseTimes) addMatch(d time.Duration, scale int64) { p.match.Add(int64(d) * scale) }
+func (p *PhaseTimes) addDedup(d time.Duration, scale int64) { p.dedup.Add(int64(d) * scale) }

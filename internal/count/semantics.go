@@ -62,7 +62,7 @@ func sweepUntil(db *core.Database, q cq.Query, opts *Options, want bool) (sat, v
 		return false, false, nil
 	}
 	sat = !want
-	err = sweepSharded(eng, opts.context(), 1, opts.progress(), func(_ int, cur *sweep.Cursor) bool {
+	err = sweepSharded(eng, opts.context(), 1, opts.progress(), opts.phases(), func(_ int, cur *sweep.Cursor) bool {
 		sat = cur.Matches()
 		return sat != want
 	})

@@ -31,15 +31,17 @@ import (
 const (
 	OpClassify = "classify"
 	OpCount    = "count"
+	OpComp     = "comp"
 	OpEstimate = "estimate"
 	OpMutate   = "mutate"
 	OpJobs     = "jobs"
 )
 
 // DefaultProfile is the mixed workload: mostly cheap cached reads, some
-// sampling, some writes, some async jobs.
+// forced completion sweeps, some sampling, some writes, some async jobs.
 var DefaultProfile = map[string]int{
 	OpCount:    4,
+	OpComp:     2,
 	OpClassify: 2,
 	OpEstimate: 1,
 	OpMutate:   1,
@@ -159,7 +161,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	profile := cfg.profile()
 	var picks []string
-	for _, op := range []string{OpClassify, OpCount, OpEstimate, OpMutate, OpJobs} {
+	for _, op := range []string{OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs} {
 		w := profile[op]
 		if w < 0 {
 			return nil, fmt.Errorf("loadgen: negative weight for %q", op)
@@ -173,7 +175,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	for op := range profile {
 		switch op {
-		case OpClassify, OpCount, OpEstimate, OpMutate, OpJobs:
+		case OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs:
 		default:
 			return nil, fmt.Errorf("loadgen: unknown operation %q in profile", op)
 		}
@@ -295,6 +297,22 @@ func (w *worker) buildPool() {
 	w.jobDB = chainDatabase(w.rng.Intn(1<<20)+1, 10)
 }
 
+// dedupDatabase renders a uniform database of 2n single-null unary
+// facts R(?i), S(?j) plus one two-null binary fact T(?k, ?l) over
+// {a, b}: 2^(2n+2) valuations collapse to at most 36 distinct
+// completions, so a #Comp sweep over it is almost entirely dedup work.
+// The binary fact keeps the schema non-unary, which blocks the
+// Theorem 4.6 exact fast path and forces the brute sweep.
+func dedupDatabase(base, n int) string {
+	var b strings.Builder
+	b.WriteString("uniform a b\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "R(?%d)\nS(?%d)\n", base+2*i, base+2*i+1)
+	}
+	fmt.Fprintf(&b, "T(?%d, ?%d)\n", base+2*n, base+2*n+1)
+	return b.String()
+}
+
 // chainDatabase renders a uniform database of n nulls chained through a
 // binary relation: R(?base, ?base+1), …, 2^n valuations over {a, b}.
 func chainDatabase(base, n int) string {
@@ -350,6 +368,17 @@ func (w *worker) do(ctx context.Context, op string) (err error, rejected bool) {
 			Database: w.dbPool[w.rng.Intn(len(w.dbPool))],
 			Query:    "R(x, x)",
 			Kind:     kind,
+		}, &resp), false
+	case OpComp:
+		// Completions-heavy: a fresh dedup-shaped database every request
+		// (defeating the result cache), counted under #Comp so the sweep
+		// spends its time deduplicating ~2^10 valuations into a handful
+		// of completions — the dedup fast path under load.
+		var resp server.Response
+		return w.post(ctx, "/v1/count", server.Request{
+			Database: dedupDatabase(w.rng.Intn(1<<20)+1, 4+w.rng.Intn(2)),
+			Query:    "R(x) ∧ S(x)",
+			Kind:     server.KindComp,
 		}, &resp), false
 	case OpEstimate:
 		var resp server.Response

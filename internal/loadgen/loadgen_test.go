@@ -110,7 +110,7 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	if rep.Errors != 0 {
 		t.Fatalf("run had %d errors: %v", rep.Errors, rep.ErrorSamples)
 	}
-	for _, op := range []string{OpClassify, OpCount, OpEstimate, OpMutate, OpJobs} {
+	for _, op := range []string{OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs} {
 		o := rep.PerOp[op]
 		if o == nil || o.Count == 0 {
 			t.Errorf("operation %q was never recorded", op)

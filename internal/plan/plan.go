@@ -94,6 +94,22 @@ type Options struct {
 	// above the executor's absolute limit (cylinder.MaxUnionCylinders)
 	// are clamped to it, so a plan never promises an inexecutable route.
 	MaxCylinders int
+
+	// DisableBitsets pins the scalar membership path when compiling
+	// sweep engines: no bitset-compiled matching plan is built.
+	DisableBitsets bool
+
+	// SyntacticOrder pins the query's own (syntactic) atom order in the
+	// compiled sweep engines instead of the cost-driven reordering.
+	SyntacticOrder bool
+}
+
+// compileOptions projects the planning options onto the sweep compiler's.
+func (o *Options) compileOptions() sweep.CompileOptions {
+	if o == nil {
+		return sweep.CompileOptions{}
+	}
+	return sweep.CompileOptions{DisableBitsets: o.DisableBitsets, SyntacticOrder: o.SyntacticOrder}
 }
 
 func (o *Options) maxValuations() *big.Int {
@@ -532,7 +548,7 @@ func (b *builder) finishSweep(n *Node, q cq.Query) {
 	if n.Kind == classify.Completions {
 		mode = sweep.ModeCompletions
 	}
-	eng, err := sweep.Compile(b.db, q, mode)
+	eng, err := sweep.CompileWith(b.db, q, mode, b.opts.compileOptions())
 	if err != nil {
 		// The database was validated in Build; a compile failure here is
 		// impossible in practice, but keep the plan usable.
@@ -553,7 +569,7 @@ func (b *builder) finishSweep(n *Node, q cq.Query) {
 		if eng.Bitset() {
 			membership = "bitset"
 		}
-		n.Decisions[last].Reason += fmt.Sprintf(" [%s kernel, %s membership]", eng.Kernel(), membership)
+		n.Decisions[last].Reason += fmt.Sprintf(" [%s kernel, %s membership, %s atom order]", eng.Kernel(), membership, eng.AtomOrder())
 	}
 	switch {
 	case n.Cost.PrunedNulls > 0:

@@ -59,6 +59,17 @@ type Request struct {
 	// the sharded brute-force sweep, the workload the async job API
 	// exists for. Ignored outside /v1/jobs.
 	ForceBrute bool `json:"force_brute,omitempty"`
+
+	// DisableBitsets pins the scalar membership path of the sweep
+	// engines behind this request: no bitset-compiled matching plan.
+	// Counts are identical either way; the request bypasses the result
+	// cache so its plan reflects the escape hatch.
+	DisableBitsets bool `json:"disable_bitsets,omitempty"`
+
+	// SyntacticOrder pins the query's own (syntactic) atom order instead
+	// of the engine's cost-driven reordering. Counts are identical
+	// either way; like DisableBitsets it bypasses the result cache.
+	SyntacticOrder bool `json:"syntactic_order,omitempty"`
 }
 
 // Response is the outcome of one Request. Which fields are set depends on
@@ -113,6 +124,11 @@ type Response struct {
 	// this request's MaxCylinders/MaxValuations would have planned.
 	Cached bool `json:"cached,omitempty"`
 
+	// Phases splits the brute-force sweep time behind a count response
+	// into its phases; absent when the plan swept nothing (or on cache
+	// hits of such plans).
+	Phases *PhaseDetail `json:"phases,omitempty"`
+
 	// DurationMS is the server-side time spent producing this response
 	// (near zero for cache hits).
 	DurationMS float64 `json:"duration_ms"`
@@ -142,6 +158,17 @@ func (r *Response) clone() *Response {
 // EstimateDetail is the sampling-diagnostics block of an estimate
 // response: everything the Karp–Luby estimator knows beyond the point
 // estimate.
+// PhaseDetail is the sampled per-phase time split of the brute-force
+// sweeps behind a count: advancing cursors (step), evaluating the query
+// (match) and deduplicating completions (dedup), in milliseconds of
+// total worker time — concurrent shards add up, so the sum can exceed
+// duration_ms.
+type PhaseDetail struct {
+	StepMS  float64 `json:"step_ms"`
+	MatchMS float64 `json:"match_ms"`
+	DedupMS float64 `json:"dedup_ms"`
+}
+
 type EstimateDetail struct {
 	// Eps and Delta are the guarantee parameters the estimator ran with:
 	// Pr(|estimate − #Val| ≤ ε·#Val) ≥ 1 − δ.

@@ -65,6 +65,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -139,6 +140,13 @@ type Config struct {
 	// between checkpoint publications; 0 means
 	// count.DefaultCheckpointStride.
 	CheckpointStride int64
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ so live sweeps can
+	// be profiled in place — the sweep shards run under pprof labels
+	// (sweep_shard, sweep_mode), so a CPU profile of a busy server
+	// attributes samples per shard and per sweep mode. Off by default:
+	// profiles expose internals, so only enable on trusted interfaces.
+	Pprof bool
 }
 
 func (c Config) cacheSize() int {
@@ -237,6 +245,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/facts", s.handleFactsAdd)
 	s.mux.HandleFunc("DELETE /v1/facts", s.handleFactsRemove)
 	s.mux.HandleFunc("POST /v1/domain", s.handleDomain)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	return s
 }
 
@@ -498,6 +513,8 @@ func (s *Server) requestOptions(req Request, progress func(done, total int)) *co
 	if maxCyl := s.cfg.maxCylinders(); req.MaxCylinders < 0 || (req.MaxCylinders > 0 && req.MaxCylinders < maxCyl) {
 		o.MaxCylinders = req.MaxCylinders
 	}
+	o.DisableBitsets = req.DisableBitsets
+	o.SyntacticOrder = req.SyntacticOrder
 	return o
 }
 
@@ -537,8 +554,14 @@ func (s *Server) execCached(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res, ok := pdb.Cached(q, fpKind); ok {
-		return s.resultResponse(req.Op, q, kind, res), nil
+	// The engine escape hatches bypass the warm-cache peek: a hatched
+	// request must compute on the engine shape it asked for, not be
+	// answered by a default-knob cached result. (The solver's own cache
+	// layer refuses them too — see Solver.cacheable.)
+	if !req.DisableBitsets && !req.SyntacticOrder {
+		if res, ok := pdb.Cached(q, fpKind); ok {
+			return s.resultResponse(req.Op, q, kind, res), nil
+		}
 	}
 	opts := s.requestOptions(req, nil)
 	var res *solver.Result
@@ -581,6 +604,13 @@ func (s *Server) resultResponse(op string, q cq.Query, kind string, res *solver.
 		resp.Count = res.Count.String()
 		resp.Method = string(res.Method)
 		resp.Kernel = res.Stats.Kernel
+		if st := res.Stats; st.PhaseStep != 0 || st.PhaseMatch != 0 || st.PhaseDedup != 0 {
+			resp.Phases = &PhaseDetail{
+				StepMS:  float64(st.PhaseStep.Microseconds()) / 1e3,
+				MatchMS: float64(st.PhaseMatch.Microseconds()) / 1e3,
+				DedupMS: float64(st.PhaseDedup.Microseconds()) / 1e3,
+			}
+		}
 		if res.Plan != nil {
 			resp.Plan = res.Plan.JSON()
 		}

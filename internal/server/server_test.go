@@ -535,3 +535,51 @@ func TestCountResponseKernel(t *testing.T) {
 		t.Fatalf("count response kernel %q, want uint64 (%+v)", resp.Kernel, resp)
 	}
 }
+
+// TestEscapeHatchRequestsBypassCache: a count request carrying
+// disable_bitsets or syntactic_order must compute on the engine shape it
+// asked for — not be answered by a default-knob warm-cache entry — and
+// must not plant a cache entry of its own, while leaving the default
+// entry intact.
+func TestEscapeHatchRequestsBypassCache(t *testing.T) {
+	srv, base := startServer(t, Config{Workers: 2, MaxValuations: 1 << 20})
+	db := "uniform a b\nR(?1, ?2)\nR(?3, ?4)\nR(?5, ?6)\n"
+	post := func(req Request) *Response {
+		t.Helper()
+		var out Response
+		if code := doJSON(t, http.MethodPost, base+"/v1/count", req, &out); code != http.StatusOK {
+			t.Fatalf("count returned HTTP %d: %+v", code, out)
+		}
+		return &out
+	}
+	// Inequality defeats every fast path, so all variants brute-sweep.
+	plain := Request{Database: db, Query: "R(x, y) ∧ x ≠ y", Kind: KindVal}
+	first := post(plain)
+	if first.Cached {
+		t.Fatalf("first request was already cached: %+v", first)
+	}
+	if warm := post(plain); !warm.Cached || warm.Count != first.Count {
+		t.Fatalf("repeat default request: cached=%v count=%s, want cached=true count=%s",
+			warm.Cached, warm.Count, first.Count)
+	}
+	before := srv.Stats().Computations
+
+	hatched := plain
+	hatched.DisableBitsets = true
+	hatched.SyntacticOrder = true
+	for i := 0; i < 2; i++ { // neither served from nor planted in the cache
+		got := post(hatched)
+		if got.Cached {
+			t.Fatalf("hatched request %d was served from the cache: %+v", i, got)
+		}
+		if got.Count != first.Count {
+			t.Fatalf("hatched request %d count %s, default engine gave %s", i, got.Count, first.Count)
+		}
+	}
+	if after := srv.Stats().Computations; after != before+2 {
+		t.Errorf("computations went %d → %d, want two fresh hatched computations", before, after)
+	}
+	if final := post(plain); !final.Cached {
+		t.Errorf("default entry evicted by hatched requests: %+v", final)
+	}
+}

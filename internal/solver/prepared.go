@@ -246,6 +246,11 @@ func (p *PreparedDB) planForOpts(canonQ string, q cq.Query, kind classify.Counti
 
 // executeCount runs a compiled plan and wraps the count in a Result.
 func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, start time.Time, rec *factorRecorder) (*Result, error) {
+	ph := eff.Phases
+	if ph == nil {
+		ph = &count.PhaseTimes{}
+		eff.Phases = ph
+	}
 	n, err := count.ExecutePlan(p.db, pl, eff)
 	if err != nil {
 		return nil, err
@@ -269,6 +274,9 @@ func (p *PreparedDB) executeCount(pl *plan.Plan, eff *count.Options, fp string, 
 			Workers:         effectiveWorkers(eff.Workers),
 			Kernel:          string(kernel),
 			Wall:            time.Since(start),
+			PhaseStep:       ph.Step(),
+			PhaseMatch:      ph.Match(),
+			PhaseDedup:      ph.Dedup(),
 		},
 	}, nil
 }
@@ -403,6 +411,11 @@ func (p *PreparedDB) decide(ctx context.Context, q cq.Query, opts *count.Options
 	eff := p.s.countOptions(ctx, opts)
 	fp := fingerprint.OfCanonical(p.canonDB, fingerprint.Query(q), kind)
 	compute := func() (*Result, error) {
+		ph := eff.Phases
+		if ph == nil {
+			ph = &count.PhaseTimes{}
+			eff.Phases = ph
+		}
 		holds, err := run(p.db, q, eff)
 		if err != nil {
 			return nil, err
@@ -412,9 +425,12 @@ func (p *PreparedDB) decide(ctx context.Context, q cq.Query, opts *count.Options
 			Method:      methodEarlyExit,
 			Fingerprint: fp,
 			Stats: Stats{
-				Epoch:   p.appliedVersion,
-				Workers: effectiveWorkers(eff.Workers),
-				Wall:    time.Since(start),
+				Epoch:      p.appliedVersion,
+				Workers:    effectiveWorkers(eff.Workers),
+				Wall:       time.Since(start),
+				PhaseStep:  ph.Step(),
+				PhaseMatch: ph.Match(),
+				PhaseDedup: ph.Dedup(),
 			},
 		}, nil
 	}

@@ -94,6 +94,16 @@ type Stats struct {
 
 	// Wall is the wall-clock time of this call (near zero for cache hits).
 	Wall time.Duration
+
+	// PhaseStep, PhaseMatch and PhaseDedup split the call's brute-force
+	// sweep time into its phases — advancing cursors, evaluating the
+	// query, deduplicating completions — as sampled estimates of total
+	// worker time (concurrent shards add up, so the sum can exceed Wall).
+	// All zero when the call ran no brute-force sweep, and describing the
+	// first computation on cache hits.
+	PhaseStep  time.Duration
+	PhaseMatch time.Duration
+	PhaseDedup time.Duration
 }
 
 // clone returns a copy of r safe to hand to a caller: the big integers a

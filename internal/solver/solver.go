@@ -190,6 +190,9 @@ func (s *Solver) countOptions(ctx context.Context, opts *count.Options) *count.O
 		}
 		eff.Progress = opts.Progress
 		eff.Checkpoint = opts.Checkpoint
+		eff.DisableBitsets = opts.DisableBitsets
+		eff.SyntacticOrder = opts.SyntacticOrder
+		eff.Phases = opts.Phases
 		if eff.Context == nil {
 			eff.Context = opts.Context
 		}
@@ -218,6 +221,12 @@ func (s *Solver) knobsDefault(opts *count.Options) bool {
 		}
 	}
 	if opts.MaxCylinders != 0 && opts.MaxCylinders != s.maxCylinders() {
+		return false
+	}
+	// The engine escape hatches never change a count, but they do change
+	// the compiled engines and the plan's decision record, so a call
+	// carrying one must not be served a default-knob cached plan.
+	if opts.DisableBitsets || opts.SyntacticOrder {
 		return false
 	}
 	return true

@@ -287,19 +287,56 @@ func (e *Engine) buildBitsets() {
 	e.bits = bp
 }
 
-// evalFlat is the flattened verdict (see bitsetPlan.flat).
+// evalFlat is the flattened verdict (see bitsetPlan.flat): an unrolled
+// AND-chain over the equality bitmaps, materialized into the cursor's
+// scratch words only when the chain is longer than two.
 func (c *Cursor) evalFlat() bool {
 	bp := c.bits
-	for w := 0; w < bp.flatWords; w++ {
-		m := c.eqBits[bp.flat[0]+w]
+	w := bp.flatWords
+	if w == 1 {
+		// Single-word bitmaps: the scalar chain beats a helper call.
+		m := c.eqBits[bp.flat[0]]
 		for _, off := range bp.flat[1:] {
-			m &= c.eqBits[off+w]
+			m &= c.eqBits[off]
 		}
 		if m != 0 {
 			return !bp.flatNeg
 		}
+		return bp.flatNeg
+	}
+	first := c.eqBits[bp.flat[0] : bp.flat[0]+w]
+	hit := false
+	switch len(bp.flat) {
+	case 1:
+		hit = anyNonzero(first)
+	case 2:
+		hit = andAnyNonzero(first, c.eqBits[bp.flat[1]:bp.flat[1]+w])
+	default:
+		s := c.scratchWords(0, w)
+		copyAnd(s, first, c.eqBits[bp.flat[1]:bp.flat[1]+w])
+		for _, off := range bp.flat[2:] {
+			andInto(s, c.eqBits[off:off+w])
+		}
+		hit = anyNonzero(s)
+	}
+	if hit {
+		return !bp.flatNeg
 	}
 	return bp.flatNeg
+}
+
+// scratchWords returns a cursor-local scratch buffer of n bitmap words
+// for atom depth d. Depth-indexed buffers keep an outer atom's
+// materialized intersection intact while deeper atoms of the recursion
+// compute their own.
+func (c *Cursor) scratchWords(d, n int) []uint64 {
+	for len(c.wordScratch) <= d {
+		c.wordScratch = append(c.wordScratch, nil)
+	}
+	if cap(c.wordScratch[d]) < n {
+		c.wordScratch[d] = make([]uint64, n)
+	}
+	return c.wordScratch[d][:n]
 }
 
 // Bitset reports whether the engine compiled a bitset membership plan
@@ -337,6 +374,54 @@ func (c *Cursor) rebuildBits() {
 			}
 		}
 	}
+}
+
+// pendingBit is one deferred bitmap maintenance op of a completions
+// cursor: slot u's fact's argument changed old → new, not yet applied
+// to the bitmaps.
+type pendingBit struct {
+	u        *slotUpd
+	old, new uint32
+}
+
+// maxPendingBits bounds the deferred-maintenance buffer; beyond it the
+// cursor falls back to one full bitmap rebuild at the next match.
+const maxPendingBits = 64
+
+// deferSlotBits queues a bitmap maintenance op instead of applying it:
+// in ModeCompletions the query is matched only once per distinct
+// completion, so per-step maintenance is wasted on the duplicate-heavy
+// steps in between. The queue is replayed by syncBits when a match
+// actually needs the bitmaps; past maxPendingBits a full rebuild is
+// cheaper than the replay.
+func (c *Cursor) deferSlotBits(u *slotUpd, old, v uint32) {
+	if c.bitsRebuild {
+		return
+	}
+	if len(c.bitsPending) >= maxPendingBits {
+		c.bitsRebuild = true
+		c.bitsPending = c.bitsPending[:0]
+		return
+	}
+	c.bitsPending = append(c.bitsPending, pendingBit{u: u, old: old, new: v})
+}
+
+// syncBits brings the bitmaps up to date with the arena before an
+// evaluation reads them.
+func (c *Cursor) syncBits() {
+	if c.bits == nil || (len(c.bitsPending) == 0 && !c.bitsRebuild) {
+		return
+	}
+	if c.bitsRebuild {
+		c.rebuildBits()
+		c.bitsRebuild = false
+		return
+	}
+	for i := range c.bitsPending {
+		p := &c.bitsPending[i]
+		c.updateSlotBits(p.u, p.old, p.new)
+	}
+	c.bitsPending = c.bitsPending[:0]
 }
 
 // updateSlotBits moves the slot's fact's bit after its patched argument
@@ -379,6 +464,9 @@ func (c *Cursor) evalAtomsBits(b *compiledBCQ, abs []atomBits, asg []uint32, bou
 		}
 		return false
 	}
+	if ab.words >= 4 {
+		return c.evalAtomWide(b, abs, asg, bound, i, rf)
+	}
 	for w := 0; w < ab.words; w++ {
 		m := ^uint64(0)
 		for _, ck := range ab.checks {
@@ -399,6 +487,72 @@ func (c *Cursor) evalAtomsBits(b *compiledBCQ, abs []atomBits, asg []uint32, bou
 		if ab.existOnly && m != 0 {
 			return true
 		}
+		for m != 0 {
+			fi := rf[w<<6|bits.TrailingZeros64(m)]
+			m &= m - 1
+			if c.bindCandidate(b, abs, asg, bound, i, e.factArgs(c.args, fi)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalAtomWide is the wide-relation arm of evalAtomsBits: at four or
+// more bitmap words the unrolled AND-chain over whole blocks (see
+// words.go) beats the word-major loop with its per-word early exits. The
+// intersection lands in the cursor's scratch words, existence-only atoms
+// short-circuit through andAnyNonzero without materializing it.
+func (c *Cursor) evalAtomWide(b *compiledBCQ, abs []atomBits, asg []uint32, bound []bool, i int, rf []int32) bool {
+	ab := &abs[i]
+	w := ab.words
+	// Gather the chain: position checks first, then equality masks.
+	var first []uint64
+	if len(ab.checks) > 0 {
+		ck := ab.checks[0]
+		first = c.posBits[ck.off+int(asg[ck.vr])*w:][:w]
+	} else {
+		first = c.eqBits[ab.eqOffs[0] : ab.eqOffs[0]+w]
+	}
+	rest := len(ab.checks) + len(ab.eqOffs) - 1
+	if rest == 0 {
+		if ab.existOnly {
+			return anyNonzero(first)
+		}
+		return c.scanCandidates(b, abs, asg, bound, i, rf, first)
+	}
+	if rest == 1 && ab.existOnly {
+		var second []uint64
+		if len(ab.checks) > 1 {
+			ck := ab.checks[1]
+			second = c.posBits[ck.off+int(asg[ck.vr])*w:][:w]
+		} else {
+			second = c.eqBits[ab.eqOffs[len(ab.eqOffs)-1] : ab.eqOffs[len(ab.eqOffs)-1]+w]
+		}
+		return andAnyNonzero(first, second)
+	}
+	s := c.scratchWords(i, w)
+	copy(s, first)
+	for _, ck := range ab.checks[min(1, len(ab.checks)):] {
+		andInto(s, c.posBits[ck.off+int(asg[ck.vr])*w:][:w])
+	}
+	eqs := ab.eqOffs
+	if len(ab.checks) == 0 {
+		eqs = eqs[1:]
+	}
+	for _, off := range eqs {
+		andInto(s, c.eqBits[off:off+w])
+	}
+	if ab.existOnly {
+		return anyNonzero(s)
+	}
+	return c.scanCandidates(b, abs, asg, bound, i, rf, s)
+}
+
+// scanCandidates binds and recurses over every set bit of mask.
+func (c *Cursor) scanCandidates(b *compiledBCQ, abs []atomBits, asg []uint32, bound []bool, i int, rf []int32, mask []uint64) bool {
+	e := c.eng
+	for w, m := range mask {
 		for m != 0 {
 			fi := rf[w<<6|bits.TrailingZeros64(m)]
 			m &= m - 1

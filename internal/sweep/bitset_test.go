@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -156,46 +157,259 @@ func TestBitsetSampleModeOff(t *testing.T) {
 	}
 }
 
-// FuzzBitsetMatches drives randomized (database, query, index) triples
-// through both membership kernels and requires identical verdicts.
+// variantOpts spans the four escape-hatch combinations of CompileWith.
+// The last entry — scalar evaluation in the query's own atom order — is
+// the reference shape every optimized variant must agree with.
+var variantOpts = []CompileOptions{
+	{},                     // default: bitset membership, cost-ordered atoms
+	{DisableBitsets: true}, // scalar kernel, cost-ordered atoms
+	{SyntacticOrder: true}, // bitset membership, syntactic atom order
+	{DisableBitsets: true, SyntacticOrder: true}, // the reference
+}
+
+func compileVariants(t *testing.T, db *core.Database, q cq.Query, mode Mode) []*Engine {
+	t.Helper()
+	engs := make([]*Engine, len(variantOpts))
+	for i, o := range variantOpts {
+		e, err := CompileWith(db, q, mode, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engs[i] = e
+	}
+	return engs
+}
+
+// dedupTrace sweeps a completions-mode engine the way the count layer's
+// dedup shard does — skipping visits whose SetGen is unchanged — and
+// returns the first-seen deduplicated (canonical encoding, verdict)
+// sequence. A sound SetGen skip never hides a distinct completion, so
+// every engine variant must produce the identical trace.
+func dedupTrace(t *testing.T, e *Engine) []string {
+	t.Helper()
+	cur := e.NewCursor()
+	if err := cur.Seek(big.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	var lastGen uint64
+	for {
+		if g := cur.SetGen(); g != lastGen {
+			lastGen = g
+			key := fmt.Sprint(cur.AppendCanonical(nil))
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, fmt.Sprintf("%s:%v", key, cur.Matches()))
+			}
+		}
+		if !cur.Step() {
+			return out
+		}
+	}
+}
+
+// compareVariantsLockstep sweeps all variants in lockstep against the
+// reference (last) engine: identical verdicts at every index, identical
+// completion hashes in ModeCompletions, and — re-sweeping each variant
+// with the SetGen-skipping dedup — the identical first-seen completion
+// set with verdicts.
+func compareVariantsLockstep(t *testing.T, seed int64, step int, engs []*Engine) {
+	t.Helper()
+	ref := engs[len(engs)-1]
+	size := ref.Size()
+	for vi, e := range engs[:len(engs)-1] {
+		if e.Size().Cmp(size) != 0 {
+			t.Fatalf("seed %d step %d variant %d: sizes diverge: %v vs %v", seed, step, vi, e.Size(), size)
+		}
+	}
+	if size.Sign() == 0 {
+		return
+	}
+	completions := ref.Mode() == ModeCompletions
+	curs := make([]*Cursor, len(engs))
+	for i, e := range engs {
+		curs[i] = e.NewCursor()
+		if err := curs[i].Seek(big.NewInt(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := curs[len(curs)-1]
+	seen := make(map[string]bool)
+	var dedup []string
+	for i := int64(0); ; i++ {
+		want := rc.Matches()
+		for vi, c := range curs[:len(curs)-1] {
+			if c.Matches() != want {
+				t.Fatalf("seed %d step %d index %d variant %d: verdict %v, reference %v",
+					seed, step, i, vi, c.Matches(), want)
+			}
+			if completions && c.CompletionHash() != rc.CompletionHash() {
+				t.Fatalf("seed %d step %d index %d variant %d: completion hash diverges",
+					seed, step, i, vi)
+			}
+		}
+		if completions {
+			key := fmt.Sprint(rc.AppendCanonical(nil))
+			if !seen[key] {
+				seen[key] = true
+				dedup = append(dedup, fmt.Sprintf("%s:%v", key, want))
+			}
+		}
+		exhaust := rc.Step()
+		for vi, c := range curs[:len(curs)-1] {
+			if c.Step() != exhaust {
+				t.Fatalf("seed %d step %d index %d variant %d: Step exhaustion diverges", seed, step, i, vi)
+			}
+		}
+		if !exhaust {
+			break
+		}
+	}
+	if !completions {
+		return
+	}
+	for vi, e := range engs {
+		got := dedupTrace(t, e)
+		if len(got) != len(dedup) {
+			t.Fatalf("seed %d step %d variant %d: dedup trace has %d completions, reference saw %d",
+				seed, step, vi, len(got), len(dedup))
+		}
+		for j := range dedup {
+			if got[j] != dedup[j] {
+				t.Fatalf("seed %d step %d variant %d: completion %d differs:\n got %s\nwant %s",
+					seed, step, vi, j, got[j], dedup[j])
+			}
+		}
+	}
+}
+
+// TestVariantsLockstep is the escape-hatch property test: every compile
+// variant — bitset/scalar × cost/syntactic order — must produce
+// bit-identical verdict sequences, completion hashes and deduplicated
+// completion sets, in both modes, across Patch interleavings.
+func TestVariantsLockstep(t *testing.T) {
+	for _, mode := range []Mode{ModeValuations, ModeCompletions} {
+		name := "valuations"
+		if mode == ModeCompletions {
+			name = "completions"
+		}
+		t.Run(name, func(t *testing.T) {
+			reordered, compared := 0, 0
+			for seed := int64(0); seed < 60; seed++ {
+				r := rand.New(rand.NewSource(seed + 5000))
+				db := randDB(r, int(seed%3))
+				q := bitsetQueries[r.Intn(len(bitsetQueries))]
+				engs := compileVariants(t, db, q, mode)
+				if engs[0].AtomOrder() != "syntactic" {
+					reordered++
+				}
+				if engs[3].AtomOrder() != "syntactic" {
+					t.Fatalf("seed %d: SyntacticOrder engine reports order %q", seed, engs[3].AtomOrder())
+				}
+				if !engs[3].Size().IsInt64() || engs[3].Size().Int64() > 1<<13 {
+					continue // keep the 4-way full enumeration cheap
+				}
+				compared++
+				compareVariantsLockstep(t, seed, -1, engs)
+
+				ver := db.Version()
+				mr := rand.New(rand.NewSource(seed*131 + 7))
+				for step := 0; step < 3; step++ {
+					for n := 1 + mr.Intn(3); n > 0; n-- {
+						mutateRandom(mr, db)
+					}
+					deltas, ok := db.DeltasSince(ver)
+					if !ok {
+						t.Fatal("delta log unavailable")
+					}
+					ver = db.Version()
+					for _, d := range deltas {
+						// Patch every variant with the same delta; if any
+						// refuses, recompile all so they stay comparable.
+						okAll := true
+						for _, e := range engs {
+							if !e.Patch(db, d) {
+								okAll = false
+							}
+						}
+						if !okAll {
+							engs = compileVariants(t, db, q, mode)
+							break
+						}
+					}
+					if !engs[3].Size().IsInt64() || engs[3].Size().Int64() > 1<<13 {
+						break
+					}
+					compareVariantsLockstep(t, seed, step, engs)
+				}
+			}
+			if compared == 0 {
+				t.Fatal("no seed was small enough to compare; the property test pinned nothing")
+			}
+			if reordered == 0 {
+				t.Fatal("no seed produced a cost-reordered program; the order property pinned nothing")
+			}
+		})
+	}
+}
+
+// FuzzBitsetMatches drives randomized (database, query, mode, index)
+// tuples through all four compile variants and requires identical
+// verdicts — and, in completions mode, identical completion hashes —
+// against the scalar syntactic-order reference.
 func FuzzBitsetMatches(f *testing.F) {
-	f.Add(int64(1), uint8(0), uint16(0))
-	f.Add(int64(7), uint8(3), uint16(911))
-	f.Fuzz(func(t *testing.T, seed int64, qsel uint8, idx uint16) {
+	f.Add(int64(1), uint8(0), uint8(0), uint16(0))
+	f.Add(int64(7), uint8(3), uint8(1), uint16(911))
+	f.Fuzz(func(t *testing.T, seed int64, qsel, msel uint8, idx uint16) {
 		r := rand.New(rand.NewSource(seed))
 		db := randDB(r, int(uint64(seed)%3))
 		q := bitsetQueries[int(qsel)%len(bitsetQueries)]
-		bit, err := Compile(db, q, ModeValuations)
-		if err != nil {
-			t.Fatal(err)
+		mode := ModeValuations
+		if msel%2 == 1 {
+			mode = ModeCompletions
 		}
-		sc, err := Compile(db, q, ModeValuations)
-		if err != nil {
-			t.Fatal(err)
+		engs := make([]*Engine, len(variantOpts))
+		for i, o := range variantOpts {
+			e, err := CompileWith(db, q, mode, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engs[i] = e
 		}
-		sc.DisableBitsets()
-		size := bit.Size()
+		ref := engs[len(engs)-1]
+		size := ref.Size()
 		if size.Sign() == 0 {
 			return
 		}
 		start := new(big.Int).Mod(big.NewInt(int64(idx)), size)
-		bc, scc := bit.NewCursor(), sc.NewCursor()
-		if err := bc.Seek(start); err != nil {
-			t.Fatal(err)
+		curs := make([]*Cursor, len(engs))
+		for i, e := range engs {
+			curs[i] = e.NewCursor()
+			if err := curs[i].Seek(start); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if err := scc.Seek(start); err != nil {
-			t.Fatal(err)
-		}
+		rc := curs[len(curs)-1]
 		for i := 0; i < 64; i++ {
-			if bc.Matches() != scc.Matches() {
-				t.Fatalf("seed %d q %d index %v+%d: bitset %v, scalar %v",
-					seed, qsel, start, i, bc.Matches(), scc.Matches())
+			want := rc.Matches()
+			for vi, c := range curs[:len(curs)-1] {
+				if c.Matches() != want {
+					t.Fatalf("seed %d q %d mode %v index %v+%d variant %d: got %v, reference %v",
+						seed, qsel, mode, start, i, vi, c.Matches(), want)
+				}
+				if mode == ModeCompletions && c.CompletionHash() != rc.CompletionHash() {
+					t.Fatalf("seed %d q %d index %v+%d variant %d: completion hash diverges",
+						seed, qsel, start, i, vi)
+				}
 			}
-			bs, ss := bc.Step(), scc.Step()
-			if bs != ss {
-				t.Fatal("Step exhaustion diverges")
+			exhaust := rc.Step()
+			for _, c := range curs[:len(curs)-1] {
+				if c.Step() != exhaust {
+					t.Fatal("Step exhaustion diverges")
+				}
 			}
-			if !bs {
+			if !exhaust {
 				return
 			}
 		}

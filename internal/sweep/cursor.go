@@ -27,21 +27,29 @@ type Cursor struct {
 	trail []int32
 	tp    int
 
-	// Completion hashing state (ModeCompletions only).
+	// Completion hashing state (ModeCompletions only). setGen counts the
+	// exact transitions of the distinct fact-value set (see SetGen).
 	factHash []Hash128
 	mult     *hashMultiset
 	sum      Hash128
+	setGen   uint64
 
 	// Bitset-compiled membership state (see bitset.go): the engine's plan
 	// pinned at cursor creation and the cursor-local bitmap words it
-	// indexes. Nil when the engine compiled no plan.
-	bits    *bitsetPlan
-	posBits []uint64
-	eqBits  []uint64
+	// indexes. Nil when the engine compiled no plan. In ModeCompletions
+	// the bitmaps are maintained lazily — matches are rare there (once
+	// per distinct completion), so per-step maintenance is deferred into
+	// bitsPending and replayed (or the bitmaps rebuilt) on demand.
+	bits        *bitsetPlan
+	posBits     []uint64
+	eqBits      []uint64
+	bitsPending []pendingBit
+	bitsRebuild bool
 
 	// Scratch buffers.
-	strArgs []string
-	sortIdx []int32
+	strArgs     []string
+	sortIdx     []int32
+	wordScratch [][]uint64 // per-atom-depth AND-chain scratch (bitset.go)
 }
 
 // NewCursor returns a cursor positioned nowhere; call Seek (or Sample)
@@ -125,17 +133,24 @@ func (c *Cursor) rebuild() {
 	if e.mode == ModeCompletions {
 		c.mult.reset()
 		c.sum = Hash128{}
+		c.setGen++ // a reposition is always a fresh completion
 		for fi := range e.factRel {
 			if e.dead != nil && e.dead[fi] {
 				continue
 			}
-			h := factHash(e.factRel[fi], e.factArgs(c.args, int32(fi)))
+			args := e.factArgs(c.args, int32(fi))
+			h := factHash(e.factRel[fi], args)
 			c.factHash[fi] = h
-			c.addFactHash(h)
+			if c.mult.incr(h, e.factRel[fi], args) {
+				c.sum = add128(c.sum, h)
+				c.setGen++
+			}
 		}
 	}
 	if c.bits != nil {
 		c.rebuildBits()
+		c.bitsPending = c.bitsPending[:0]
+		c.bitsRebuild = false
 	}
 	c.verdictValid = false
 }
@@ -177,17 +192,32 @@ func (c *Cursor) applyDigit(d int) {
 	}
 	switch {
 	case e.mode == ModeCompletions:
+		vi := c.idx[d]
 		for si, s := range dg.slots {
-			c.removeFactHash(c.factHash[s.fact])
+			old := c.factHash[s.fact]
 			ai := e.factOff[s.fact] + s.pos
-			old := c.args[ai]
+			oldArg := c.args[ai]
 			c.args[ai] = v
-			if upd != nil && old != v {
-				c.updateSlotBits(&upd[si], old, v)
+			if upd != nil && oldArg != v {
+				c.deferSlotBits(&upd[si], oldArg, v)
 			}
-			h := factHash(e.factRel[s.fact], e.factArgs(c.args, s.fact))
+			var h Hash128
+			if dg.slotHash != nil && dg.slotHash[si] != nil {
+				h = dg.slotHash[si][vi]
+			} else {
+				h = factHash(e.factRel[s.fact], e.factArgs(c.args, s.fact))
+			}
 			c.factHash[s.fact] = h
-			c.addFactHash(h)
+			rel := e.factRel[s.fact]
+			args := e.factArgs(c.args, s.fact)
+			if c.mult.decrPatched(old, rel, args, s.pos, oldArg) {
+				c.sum = sub128(c.sum, old)
+				c.setGen++
+			}
+			if c.mult.incr(h, rel, args) {
+				c.sum = add128(c.sum, h)
+				c.setGen++
+			}
 		}
 	case upd != nil:
 		// updateSlotBits, hand-inlined: this is the hottest loop of a
@@ -223,25 +253,24 @@ func (c *Cursor) applyDigit(d int) {
 	}
 }
 
-// addFactHash/removeFactHash maintain the multiset of per-fact hashes and
-// the completion sum over its distinct elements, realizing set semantics:
-// duplicate facts collapse, contributing once.
-func (c *Cursor) addFactHash(h Hash128) {
-	if c.mult.incr(h) {
-		c.sum = add128(c.sum, h)
-	}
-}
-
-func (c *Cursor) removeFactHash(h Hash128) {
-	if c.mult.decr(h) {
-		c.sum = sub128(c.sum, h)
-	}
-}
+// SetGen is the exact generation counter of the completion's distinct
+// fact-value set: it is bumped on every transition of the set (a value
+// becoming present or absent) and on every reposition, and it is
+// otherwise stable. Two consecutive observations with equal SetGen
+// prove the completion is unchanged — the multiset underneath verifies
+// fact values, not just hashes, so the guarantee is exact even under
+// 128-bit hash collisions. Dedup loops use this to skip re-verification
+// entirely when a step moved only duplicated facts. Only meaningful in
+// ModeCompletions.
+func (c *Cursor) SetGen() uint64 { return c.setGen }
 
 // Matches reports whether the current completion satisfies the query,
 // re-evaluating only when a relevant relation changed since the last call.
 func (c *Cursor) Matches() bool {
 	if !c.verdictValid {
+		if c.bitsPending != nil || c.bitsRebuild {
+			c.syncBits()
+		}
 		if c.bits != nil && c.bits.flat != nil {
 			c.verdict = c.evalFlat()
 		} else {

@@ -66,6 +66,11 @@ type digit struct {
 	// verdict, i.e. whether some slot lives in a relation the query
 	// mentions. Clean digits leave the cached verdict valid.
 	dirty bool
+	// slotHash, in ModeCompletions, holds per slot the fact's
+	// precomputed hash at each domain value — filled by buildSlotHashes
+	// for slots whose fact contains no other null, nil entries
+	// otherwise. Aligned with slots when non-nil.
+	slotHash [][]Hash128
 }
 
 // Engine is a database compiled for sweeping, safe for concurrent use by
@@ -109,11 +114,33 @@ type Engine struct {
 	// atom profits, the budget is exceeded, or bitsets are disabled.
 	bits      *bitsetPlan
 	bitsetOff bool
+
+	// Atom ordering (see order.go): syntactic pins the query's own atom
+	// order, orderNote describes the order the engine evaluates with.
+	syntactic bool
+	orderNote string
 }
 
-// Compile builds the sweep engine for db and q under the given mode. It
-// returns an error if some null of db lacks a domain.
+// CompileOptions are the escape hatches of CompileWith. The zero value
+// is the default compilation: bitset membership when profitable,
+// cost-ordered atoms.
+type CompileOptions struct {
+	// DisableBitsets pins the scalar evaluation path: no bitset
+	// membership plan is compiled or rebuilt after patches.
+	DisableBitsets bool
+	// SyntacticOrder pins the query's own (syntactic) atom order
+	// instead of the cost-driven most-bound-first reordering.
+	SyntacticOrder bool
+}
+
+// Compile builds the sweep engine for db and q under the given mode with
+// default options. It returns an error if some null of db lacks a domain.
 func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
+	return CompileWith(db, q, mode, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit escape hatches.
+func CompileWith(db *core.Database, q cq.Query, mode Mode, opts CompileOptions) (*Engine, error) {
 	if err := db.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,6 +149,8 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 		values:      NewInterner(),
 		rels:        NewInterner(),
 		prunedNulls: make(map[core.NullID]bool),
+		bitsetOff:   opts.DisableBitsets,
+		syntactic:   opts.SyntacticOrder,
 	}
 
 	facts := db.Facts()
@@ -151,6 +180,7 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 	e.factOff[len(facts)] = int32(len(e.tmplArgs))
 
 	e.prog = compileQuery(e, q)
+	e.orderAtoms()
 	e.queryRels, _ = cq.Signature(q)
 
 	// Per-relation relevance: a relation the query mentions (or every
@@ -199,8 +229,58 @@ func Compile(db *core.Database, q cq.Query, mode Mode) (*Engine, error) {
 	}
 	e.total = new(big.Int).Mul(e.size, e.multiplier)
 	e.buildBitsets()
+	e.buildSlotHashes()
 	return e, nil
 }
+
+// slotHashBudget caps the precomputed per-(slot, domain value) fact
+// hashes of a completions engine: 16 B per entry, 4 MiB at the cap.
+const slotHashBudget = 1 << 18
+
+// buildSlotHashes precomputes, for every digit slot whose fact contains
+// no other null, the fact's hash at each of the digit's domain values:
+// completion stepping then replaces the fact rehash (two mixing lanes
+// per argument) with a single table load. Facts holding several nulls
+// keep hashing live — their hash depends on the other nulls' current
+// values. Called at the end of Compile and after every successful Patch;
+// beyond the budget the remaining slots simply stay live-hashed.
+func (e *Engine) buildSlotHashes() {
+	if e.mode != ModeCompletions {
+		return
+	}
+	nullSlots := make([]int32, len(e.factRel))
+	for k := range e.digits {
+		for _, s := range e.digits[k].slots {
+			nullSlots[s.fact]++
+		}
+	}
+	budget := slotHashBudget
+	var scratch []uint32
+	for k := range e.digits {
+		dg := &e.digits[k]
+		dg.slotHash = nil
+		for si, s := range dg.slots {
+			if nullSlots[s.fact] != 1 || budget < len(dg.dom) {
+				continue
+			}
+			budget -= len(dg.dom)
+			args := e.factArgs(e.tmplArgs, s.fact)
+			scratch = append(scratch[:0], args...)
+			hs := make([]Hash128, len(dg.dom))
+			for i, v := range dg.dom {
+				scratch[s.pos] = v
+				hs[i] = factHash(e.factRel[s.fact], scratch)
+			}
+			if dg.slotHash == nil {
+				dg.slotHash = make([][]Hash128, len(dg.slots))
+			}
+			dg.slotHash[si] = hs
+		}
+	}
+}
+
+// Mode returns the mode the engine was compiled under.
+func (e *Engine) Mode() Mode { return e.mode }
 
 // Size returns the number of valuations the sweep enumerates: the full
 // valuation-space size, except in ModeValuations where irrelevant nulls

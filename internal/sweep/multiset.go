@@ -1,17 +1,35 @@
 package sweep
 
-// hashMultiset is a linear-probing multiset of Hash128 keys, replacing a
-// map[Hash128]int32 on the per-slot hot path of completion sweeps: the
-// keys are already uniform hashes, so probing needs no re-hashing, and
-// increments/decrements stay branch-cheap. Slots are never deleted
-// (a 1→0 decrement keeps the claimed slot so probe chains stay intact);
-// stale zero-count slots are dropped on growth.
+// hashMultiset is a linear-probing multiset of fact values keyed by
+// their 128-bit hashes, replacing a map on the per-slot hot path of
+// completion sweeps: the keys are already uniform hashes, so probing
+// needs no re-hashing, and increments/decrements stay branch-cheap.
+// Slots are never deleted (a 1→0 decrement keeps the claimed slot so
+// probe chains stay intact); stale zero-count slots are dropped on
+// growth.
+//
+// The key words live in two parallel arrays rather than one []Hash128:
+// the low words are the 64-bit prefilter level, so the common probe miss
+// (an occupied slot holding a different key) costs one load and one word
+// compare against a dense array, and the high words are only touched to
+// confirm a low-word match.
+//
+// Each slot additionally pins the exact fact value (rel, args...) it
+// counts, verified on every probe hit: the multiset tracks the distinct
+// fact *values* of the current completion, so even a 128-bit fact-hash
+// collision cannot corrupt the presence transitions it reports — the
+// transitions are what Cursor.SetGen builds its exactness guarantee on.
 type hashMultiset struct {
 	mask    uint32
-	keys    []Hash128
+	lo      []uint64 // low key words: the prefilter level
+	hi      []uint64 // high key words: touched only on a lo match
 	counts  []int32
 	used    []bool
-	claimed int // used slots, including zero-count ones
+	valOff  []int32  // per slot: offset of the exact value in vals
+	valN    []int32  // per slot: value length, 1 + arity
+	vals    []uint32 // append-only value arena: (rel, args...) runs
+	claimed int      // used slots, including zero-count ones
+	live    int      // values with a positive count: the distinct-set size
 }
 
 func newHashMultiset(capacity int) *hashMultiset {
@@ -21,78 +39,154 @@ func newHashMultiset(capacity int) *hashMultiset {
 	}
 	return &hashMultiset{
 		mask:   uint32(size - 1),
-		keys:   make([]Hash128, size),
+		lo:     make([]uint64, size),
+		hi:     make([]uint64, size),
 		counts: make([]int32, size),
 		used:   make([]bool, size),
+		valOff: make([]int32, size),
+		valN:   make([]int32, size),
 	}
 }
 
-// reset empties the multiset, keeping the allocation.
+// reset empties the multiset, keeping the allocations.
 func (t *hashMultiset) reset() {
 	for i := range t.used {
 		t.used[i] = false
 		t.counts[i] = 0
 	}
+	t.vals = t.vals[:0]
 	t.claimed = 0
+	t.live = 0
 }
 
-// slot returns the index of h's slot, claiming a fresh one if absent.
-func (t *hashMultiset) slot(h Hash128) uint32 {
+// valMatches reports whether slot i holds exactly the value (rel,
+// args...), with position patch (when patch ≥ 0) taken at patchArg
+// instead of args[patch] — the caller's arena already holds the
+// post-patch value when the pre-patch one is being removed.
+func (t *hashMultiset) valMatches(i uint32, rel uint32, args []uint32, patch int32, patchArg uint32) bool {
+	if int(t.valN[i]) != len(args)+1 {
+		return false
+	}
+	v := t.vals[t.valOff[i] : t.valOff[i]+t.valN[i]]
+	if v[0] != rel {
+		return false
+	}
+	for k := range args {
+		a := args[k]
+		if int32(k) == patch {
+			a = patchArg
+		}
+		if v[k+1] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// incr adds one occurrence of the value (rel, args...) hashing to h and
+// reports whether it just became present (count 0 → 1).
+func (t *hashMultiset) incr(h Hash128, rel uint32, args []uint32) bool {
 	i := uint32(h.Lo) & t.mask
 	for t.used[i] {
-		if t.keys[i] == h {
-			return i
+		if t.lo[i] == h.Lo && t.hi[i] == h.Hi && t.valMatches(i, rel, args, -1, 0) {
+			t.counts[i]++
+			// A claimed slot can sit at count 0 (slots are never
+			// deleted); re-entering through it is a 0 → 1 transition.
+			if t.counts[i] == 1 {
+				t.live++
+				return true
+			}
+			return false
 		}
 		i = (i + 1) & t.mask
 	}
 	t.used[i] = true
-	t.keys[i] = h
+	t.lo[i] = h.Lo
+	t.hi[i] = h.Hi
+	t.counts[i] = 1
+	t.valOff[i] = int32(len(t.vals))
+	t.valN[i] = int32(len(args) + 1)
+	t.vals = append(t.vals, rel)
+	t.vals = append(t.vals, args...)
 	t.claimed++
-	return i
+	t.live++
+	if t.claimed*2 > len(t.lo) {
+		t.grow()
+	}
+	return true
 }
 
-// incr adds one occurrence of h and reports whether h just became present
-// (count 0 → 1).
-func (t *hashMultiset) incr(h Hash128) bool {
-	i := t.slot(h)
-	t.counts[i]++
-	if t.counts[i] == 1 {
-		if t.claimed*2 > len(t.keys) {
-			t.grow()
+// decr removes one occurrence of the value (rel, args...) hashing to h
+// and reports whether it just became absent (count 1 → 0). The value
+// must be present.
+func (t *hashMultiset) decr(h Hash128, rel uint32, args []uint32) bool {
+	return t.decrPatched(h, rel, args, -1, 0)
+}
+
+// decrPatched is decr for a value whose argument at position patch has
+// already been overwritten in args: the removed (pre-patch) value reads
+// patchArg there. The value must be present.
+func (t *hashMultiset) decrPatched(h Hash128, rel uint32, args []uint32, patch int32, patchArg uint32) bool {
+	i := uint32(h.Lo) & t.mask
+	for {
+		if !t.used[i] {
+			panic("sweep: decrement of an absent completion fact")
 		}
-		return true
+		if t.lo[i] == h.Lo && t.hi[i] == h.Hi && t.valMatches(i, rel, args, patch, patchArg) {
+			t.counts[i]--
+			if t.counts[i] == 0 {
+				t.live--
+				return true
+			}
+			return false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// contains reports whether the value (rel, args...) hashing to h is
+// currently present (count > 0).
+func (t *hashMultiset) contains(h Hash128, rel uint32, args []uint32) bool {
+	i := uint32(h.Lo) & t.mask
+	for t.used[i] {
+		if t.lo[i] == h.Lo && t.hi[i] == h.Hi && t.valMatches(i, rel, args, -1, 0) {
+			return t.counts[i] > 0
+		}
+		i = (i + 1) & t.mask
 	}
 	return false
 }
 
-// decr removes one occurrence of h and reports whether h just became
-// absent (count 1 → 0). h must be present.
-func (t *hashMultiset) decr(h Hash128) bool {
-	i := t.slot(h)
-	t.counts[i]--
-	return t.counts[i] == 0
-}
-
-// grow doubles the table, dropping stale zero-count slots.
+// grow doubles the table, dropping stale zero-count slots and compacting
+// the value arena to the live values.
 func (t *hashMultiset) grow() {
-	oldKeys, oldCounts, oldUsed := t.keys, t.counts, t.used
-	size := 2 * len(oldKeys)
+	oldLo, oldHi, oldCounts, oldUsed := t.lo, t.hi, t.counts, t.used
+	oldOff, oldN, oldVals := t.valOff, t.valN, t.vals
+	size := 2 * len(oldLo)
 	t.mask = uint32(size - 1)
-	t.keys = make([]Hash128, size)
+	t.lo = make([]uint64, size)
+	t.hi = make([]uint64, size)
 	t.counts = make([]int32, size)
 	t.used = make([]bool, size)
+	t.valOff = make([]int32, size)
+	t.valN = make([]int32, size)
+	t.vals = make([]uint32, 0, len(oldVals))
 	t.claimed = 0
 	for i, u := range oldUsed {
 		if !u || oldCounts[i] == 0 {
 			continue
 		}
-		j := uint32(oldKeys[i].Lo) & t.mask
+		j := uint32(oldLo[i]) & t.mask
 		for t.used[j] {
 			j = (j + 1) & t.mask
 		}
 		t.used[j] = true
-		t.keys[j] = oldKeys[i]
+		t.lo[j] = oldLo[i]
+		t.hi[j] = oldHi[i]
 		t.counts[j] = oldCounts[i]
+		t.valOff[j] = int32(len(t.vals))
+		t.valN[j] = oldN[i]
+		t.vals = append(t.vals, oldVals[oldOff[i]:oldOff[i]+oldN[i]]...)
 		t.claimed++
 	}
 }

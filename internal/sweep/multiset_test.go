@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Parity tests for hashMultiset against a reference map multiset. The
+// hashes fed in are deliberately adversarial — shared low words force
+// long probe chains through the 64-bit prefilter, and fully colliding
+// 128-bit hashes over distinct values force the exact-value comparison
+// to disambiguate — because the SetGen exactness guarantee rests on the
+// multiset reporting presence transitions for values, not hashes.
+
+// msetValue is one (hash, rel, args) triple the test drives through the
+// multiset; key identifies the exact value, ignoring the hash.
+type msetValue struct {
+	h    Hash128
+	rel  uint32
+	args []uint32
+}
+
+func (v msetValue) key() string { return fmt.Sprint(v.rel, v.args) }
+
+// msetPool builds a pool of values: distinct values with distinct
+// hashes, clusters sharing only the low hash word, and clusters sharing
+// the full 128-bit hash.
+func msetPool(r *rand.Rand, n int) []msetValue {
+	pool := make([]msetValue, 0, n)
+	for i := 0; i < n; i++ {
+		var h Hash128
+		switch i % 3 {
+		case 0: // unique hash
+			h = Hash128{Lo: r.Uint64(), Hi: r.Uint64()}
+		case 1: // shared low word: prefilter hit, high-word mismatch
+			h = Hash128{Lo: 0xDEADBEEF, Hi: r.Uint64()}
+		case 2: // full 128-bit collision across distinct values
+			h = Hash128{Lo: 0xCAFE, Hi: 0xF00D}
+		}
+		args := make([]uint32, 1+r.Intn(3))
+		for j := range args {
+			args[j] = uint32(r.Intn(4))
+		}
+		pool = append(pool, msetValue{h: h, rel: uint32(i % 5), args: args})
+	}
+	// Deduplicate by exact value so the reference counts line up even
+	// when the random args collide within a hash cluster.
+	seen := make(map[string]bool)
+	out := pool[:0]
+	for _, v := range pool {
+		if !seen[v.key()] {
+			seen[v.key()] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func checkLive(t *testing.T, op int, m *hashMultiset, ref map[string]int) {
+	t.Helper()
+	distinct := 0
+	for _, c := range ref {
+		if c > 0 {
+			distinct++
+		}
+	}
+	if m.live != distinct {
+		t.Fatalf("op %d: live = %d, reference has %d distinct present values", op, m.live, distinct)
+	}
+}
+
+// TestMultisetMatchesReference drives random incr/decr/decrPatched/
+// contains/reset sequences through the multiset and a map, checking
+// every reported 0→1 and 1→0 transition, every containment probe, and
+// the live distinct count — across growth (the pool is larger than the
+// initial table) and slot reuse after decrement to zero.
+func TestMultisetMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		pool := msetPool(r, 80)
+		m := newHashMultiset(2) // tiny: forces repeated growth
+		ref := make(map[string]int)
+		for op := 0; op < 3000; op++ {
+			v := pool[r.Intn(len(pool))]
+			switch r.Intn(10) {
+			case 0, 1, 2, 3: // incr
+				became := m.incr(v.h, v.rel, v.args)
+				ref[v.key()]++
+				if became != (ref[v.key()] == 1) {
+					t.Fatalf("seed %d op %d: incr %v reported 0→1 = %v, reference count %d",
+						seed, op, v.key(), became, ref[v.key()])
+				}
+			case 4, 5, 6: // decr, when present
+				if ref[v.key()] == 0 {
+					continue
+				}
+				gone := m.decr(v.h, v.rel, v.args)
+				ref[v.key()]--
+				if gone != (ref[v.key()] == 0) {
+					t.Fatalf("seed %d op %d: decr %v reported 1→0 = %v, reference count %d",
+						seed, op, v.key(), gone, ref[v.key()])
+				}
+			case 7: // decrPatched: remove v, presenting args with one slot patched
+				if ref[v.key()] == 0 {
+					continue
+				}
+				p := int32(r.Intn(len(v.args)))
+				patched := append([]uint32(nil), v.args...)
+				old := patched[p]
+				patched[p] = uint32(r.Intn(4)) // post-patch arg, ignored by the probe
+				gone := m.decrPatched(v.h, v.rel, patched, p, old)
+				ref[v.key()]--
+				if gone != (ref[v.key()] == 0) {
+					t.Fatalf("seed %d op %d: decrPatched %v reported 1→0 = %v, reference count %d",
+						seed, op, v.key(), gone, ref[v.key()])
+				}
+			case 8: // contains
+				if got, want := m.contains(v.h, v.rel, v.args), ref[v.key()] > 0; got != want {
+					t.Fatalf("seed %d op %d: contains %v = %v, want %v", seed, op, v.key(), got, want)
+				}
+			case 9: // occasional reset
+				if r.Intn(20) == 0 {
+					m.reset()
+					for k := range ref {
+						delete(ref, k)
+					}
+				}
+			}
+			checkLive(t, op, m, ref)
+		}
+		// Drain everything: every value must report its final 1→0.
+		for _, v := range pool {
+			for ref[v.key()] > 0 {
+				ref[v.key()]--
+				if gone := m.decr(v.h, v.rel, v.args); gone != (ref[v.key()] == 0) {
+					t.Fatalf("seed %d drain: decr %v transition mismatch", seed, v.key())
+				}
+			}
+			if m.contains(v.h, v.rel, v.args) {
+				t.Fatalf("seed %d drain: %v still present", seed, v.key())
+			}
+		}
+		if m.live != 0 {
+			t.Fatalf("seed %d drain: live = %d, want 0", seed, m.live)
+		}
+	}
+}
+
+// TestMultisetDecrAbsentPanics: decrementing a value that was never
+// inserted must panic — silent miscounts would corrupt the completion
+// sum.
+func TestMultisetDecrAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decr of an absent value did not panic")
+		}
+	}()
+	m := newHashMultiset(4)
+	m.decr(Hash128{Lo: 1, Hi: 2}, 0, []uint32{3})
+}

@@ -3,10 +3,10 @@ package sweep
 import "fmt"
 
 // Snapshot captures one distinct completion for exact dedup: its canonical
-// encoding (for cross-shard merges and collision buckets) plus a small
-// open-addressed index of its distinct facts keyed by fact hash, so a
-// cursor can test set equality against it by probing the per-fact hashes
-// it already maintains incrementally — no sorting or encoding on the
+// encoding (for cross-shard merges and collision buckets) split into
+// per-fact (hash, offset, length) records, so a cursor can test set
+// equality against it by probing its own distinct-value multiset — one
+// O(1) probe per snapshot fact, no sorting or encoding on the
 // duplicate-heavy hot path.
 type Snapshot struct {
 	// Canonical is the exact canonical encoding: the distinct facts as
@@ -15,16 +15,12 @@ type Snapshot struct {
 	Canonical []uint32
 
 	facts []snapFact
-	table []int32 // linear-probe index into facts; -1 = empty
-	mask  uint32
-	gen   uint32
 }
 
 type snapFact struct {
-	h     Hash128
-	off   int32 // offset of (rel, args...) in Canonical
-	n     int32 // sequence length, 1 + arity
-	stamp uint32
+	h   Hash128
+	off int32 // offset of (rel, args...) in Canonical
+	n   int32 // sequence length, 1 + arity
 }
 
 // Snapshot captures the cursor's current completion.
@@ -32,6 +28,18 @@ func (c *Cursor) Snapshot() *Snapshot {
 	s := &Snapshot{Canonical: c.AppendCanonical(nil)}
 	s.index(c.eng)
 	return s
+}
+
+// SnapshotUsing is Snapshot with a reusable canonical scratch buffer:
+// the encoding is built in buf (grown as needed), copied right-sized
+// into the snapshot, and the grown buf is returned for the caller's next
+// capture — per-shard dedup loops reuse one buffer across all their
+// first-sight snapshots instead of growing a fresh one each time.
+func (c *Cursor) SnapshotUsing(buf []uint32) (*Snapshot, []uint32) {
+	buf = c.AppendCanonical(buf[:0])
+	s := &Snapshot{Canonical: append(make([]uint32, 0, len(buf)), buf...)}
+	s.index(c.eng)
+	return s, buf
 }
 
 // SnapshotOf rehydrates a Snapshot from a canonical encoding previously
@@ -57,7 +65,7 @@ func (e *Engine) SnapshotOf(canonical []uint32) (*Snapshot, error) {
 	return s, nil
 }
 
-// index builds the open-addressed fact table over Canonical.
+// index splits Canonical into per-fact records with their hashes.
 func (s *Snapshot) index(e *Engine) {
 	for off := 0; off < len(s.Canonical); {
 		rel := s.Canonical[off]
@@ -66,71 +74,27 @@ func (s *Snapshot) index(e *Engine) {
 		s.facts = append(s.facts, snapFact{h: h, off: int32(off), n: int32(n)})
 		off += n
 	}
-	size := 8
-	for size < 4*len(s.facts) {
-		size *= 2
-	}
-	s.mask = uint32(size - 1)
-	s.table = make([]int32, size)
-	for i := range s.table {
-		s.table[i] = -1
-	}
-	for j := range s.facts {
-		i := uint32(s.facts[j].h.Lo) & s.mask
-		for s.table[i] >= 0 {
-			i = (i + 1) & s.mask
-		}
-		s.table[i] = int32(j)
-	}
 }
 
 // EqualsSnapshot reports whether the cursor's current completion is
-// exactly the snapshot's, comparing fact contents (not just hashes): every
-// arena fact must occur in the snapshot and every snapshot fact must be
-// matched, so even a 128-bit fact-hash collision cannot produce a false
-// equality. Cost is O(facts) probes with no allocation.
+// exactly the snapshot's. The cursor's multiset already holds the
+// completion's distinct fact values, so equality is one cardinality
+// compare plus one multiset probe per snapshot fact — and since the
+// multiset verifies values (not just hashes), even a 128-bit fact-hash
+// collision cannot produce a false equality. Only valid on
+// ModeCompletions cursors, the only ones that deduplicate.
 func (c *Cursor) EqualsSnapshot(s *Snapshot) bool {
-	e := c.eng
-	s.gen++
-	if s.gen == 0 { // stamp wrap-around: invalidate all stamps
-		for i := range s.facts {
-			s.facts[i].stamp = 0
-		}
-		s.gen = 1
+	if c.mult == nil {
+		panic("sweep: EqualsSnapshot on a cursor without completion state")
 	}
-	matched := 0
-	for fi := range e.factRel {
-		if e.dead != nil && e.dead[fi] {
-			continue
-		}
-		h := c.factHash[fi]
-		args := e.factArgs(c.args, int32(fi))
-		found := false
-		for i := uint32(h.Lo) & s.mask; s.table[i] >= 0; i = (i + 1) & s.mask {
-			f := &s.facts[s.table[i]]
-			if f.h != h || int(f.n) != len(args)+1 || s.Canonical[f.off] != e.factRel[fi] {
-				continue
-			}
-			seq := s.Canonical[f.off+1 : f.off+f.n]
-			eq := true
-			for k := range args {
-				if seq[k] != args[k] {
-					eq = false
-					break
-				}
-			}
-			if eq {
-				if f.stamp != s.gen {
-					f.stamp = s.gen
-					matched++
-				}
-				found = true
-				break
-			}
-		}
-		if !found {
+	if c.mult.live != len(s.facts) {
+		return false
+	}
+	for j := range s.facts {
+		f := &s.facts[j]
+		if !c.mult.contains(f.h, s.Canonical[f.off], s.Canonical[f.off+1:f.off+f.n]) {
 			return false
 		}
 	}
-	return matched == len(s.facts)
+	return true
 }

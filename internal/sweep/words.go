@@ -1,0 +1,105 @@
+package sweep
+
+import "math/bits"
+
+// Word-level helpers shared by every bitset chain: AND/popcount loops
+// over []uint64 bitmap words. The AND-chain forms are 4-word-unrolled —
+// removing the per-word bounds check + loop-carried dependency keeps
+// four independent ALU chains in flight, measured ~2× at 16–64 words.
+// The popcount forms deliberately stay straight loops: OnesCount64
+// already feeds the ALU enough independent work that unrolling only
+// adds register pressure (measured ~15% slower unrolled).
+// BenchmarkAndPopcountWords and BenchmarkWordHelpers pin both choices
+// against their counterparts.
+
+// andInto sets dst[i] &= src[i] for every word. len(src) must be at
+// least len(dst).
+func andInto(dst, src []uint64) {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] &= src[i]
+		dst[i+1] &= src[i+1]
+		dst[i+2] &= src[i+2]
+		dst[i+3] &= src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] &= src[i]
+	}
+}
+
+// copyAnd sets dst[i] = a[i] & b[i] for every word. a and b must be at
+// least len(dst) long.
+func copyAnd(dst, a, b []uint64) {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = a[i] & b[i]
+		dst[i+1] = a[i+1] & b[i+1]
+		dst[i+2] = a[i+2] & b[i+2]
+		dst[i+3] = a[i+3] & b[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// anyNonzero reports whether some word is non-zero. The unrolled body
+// ORs four words before testing, trading one early exit per word for a
+// quarter of the branches.
+func anyNonzero(ws []uint64) bool {
+	n := len(ws)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		if ws[i]|ws[i+1]|ws[i+2]|ws[i+3] != 0 {
+			return true
+		}
+	}
+	for ; i < n; i++ {
+		if ws[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// andAnyNonzero reports whether (a & b) has a set bit, without
+// materializing the intersection.
+func andAnyNonzero(a, b []uint64) bool {
+	n := len(a)
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		if a[i]&b[i]|a[i+1]&b[i+1]|a[i+2]&b[i+2]|a[i+3]&b[i+3] != 0 {
+			return true
+		}
+	}
+	for ; i < n; i++ {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// popcountWords sums the set bits of ws.
+func popcountWords(ws []uint64) int {
+	c := 0
+	for _, w := range ws {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// andPopcountWords counts the set bits of (a & b) without materializing
+// the intersection.
+func andPopcountWords(a, b []uint64) int {
+	b = b[:len(a)]
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
