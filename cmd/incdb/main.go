@@ -12,6 +12,7 @@
 //	incdb count -db data.idb -q "R(x,x)" -kind val [-json]
 //	incdb estimate -db data.idb -q "R(x,x)" -eps 0.05 -delta 0.01
 //	incdb serve -addr 127.0.0.1:8333 -db data.idb -cache 1024 -max 4194304
+//	incdb worker -join http://127.0.0.1:8333
 //	incdb mutate -addr http://127.0.0.1:8333 -add "R(a, ?3)" -extend "?3 a b" -remove "S(b)"
 //	incdb experiments [-quick] [-seed N]
 //
@@ -45,6 +46,7 @@ import (
 
 	incdb "github.com/incompletedb/incompletedb"
 	"github.com/incompletedb/incompletedb/internal/count"
+	"github.com/incompletedb/incompletedb/internal/dist"
 	"github.com/incompletedb/incompletedb/internal/experiments"
 	"github.com/incompletedb/incompletedb/internal/jobs"
 	"github.com/incompletedb/incompletedb/internal/loadgen"
@@ -74,6 +76,8 @@ func main() {
 		err = cmdEstimate(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "worker":
+		err = cmdWorker(ctx, os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(ctx, os.Args[2:])
 	case "mutate":
@@ -111,7 +115,14 @@ commands:
                                  -jobdir DIR makes jobs durable: checkpointed sweeps
                                  resume across restarts; -job-ttl, -max-concurrent-jobs,
                                  -max-queued-jobs, -checkpoint-interval tune the queue;
-                                 -pprof exposes /debug/pprof/ for profiling live sweeps)
+                                 -pprof exposes /debug/pprof/ for profiling live sweeps;
+                                 -coordinator decomposes oversized brute-force jobs into
+                                 range leases for joined incdb worker processes, with
+                                 -dist-threshold, -lease-ttl, -lease-valuations tuning)
+  worker -join URL               join a serve -coordinator as a sweep worker: pull range
+                                 leases, sweep them, stream partials back (-name,
+                                 -parallel N, -poll D); Ctrl-C leaves cleanly and the
+                                 coordinator re-issues anything unfinished
   loadgen -addr URL              drive a running server with a weighted operation mix and
                                  report throughput + latency histograms (-duration, -workers,
                                  -profile "count=4,jobs=1", -anchor N, -json, -out FILE, -check)
@@ -417,6 +428,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxQueued := fs.Int("max-queued-jobs", jobs.DefaultMaxQueue, "admission queue bound; submissions beyond it get HTTP 429")
 	ckptInterval := fs.Duration("checkpoint-interval", jobs.DefaultPersistInterval, "how often running jobs' sweep checkpoints are persisted")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live sweeps)")
+	coordinator := fs.Bool("coordinator", false, "accept incdb worker processes and fan oversized brute-force jobs out to them as range leases")
+	distThreshold := fs.Int64("dist-threshold", server.DefaultDistThreshold, "minimum sweep size (valuations) a job must reach to distribute")
+	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "lease expiry: a range with no worker progress for this long is re-issued")
+	leaseVals := fs.Int64("lease-valuations", dist.DefaultLeaseValuations, "target valuations per lease (the job is cut into 8–512 ranges around it)")
 	fs.Parse(args)
 	cfg := server.Config{
 		CacheSize:          *cacheSize,
@@ -429,6 +444,10 @@ func cmdServe(ctx context.Context, args []string) error {
 		JobTTL:             *jobTTL,
 		JobPersistInterval: *ckptInterval,
 		Pprof:              *pprofOn,
+		Coordinator:        *coordinator,
+		DistThreshold:      *distThreshold,
+		LeaseTTL:           *leaseTTL,
+		LeaseValuations:    *leaseVals,
 	}
 	if *jobDir != "" {
 		store, err := jobs.NewFileStore(*jobDir)
@@ -459,9 +478,39 @@ func cmdServe(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "incdb: resumed %d checkpointed job(s) from %s\n", resumed, *jobDir)
 		}
 	}
+	if *coordinator {
+		fmt.Fprintf(os.Stderr, "incdb: coordinator on: jobs of ≥ %d valuations distribute to joined workers (lease TTL %s)\n",
+			*distThreshold, *leaseTTL)
+	}
 	fmt.Fprintf(os.Stderr, "incdb: serving on http://%s (cache %d entries, budget %d valuations)\n",
 		*addr, *cacheSize, *maxVals)
 	return srv.ListenAndServe(ctx, *addr)
+}
+
+// cmdWorker joins a serve -coordinator as a sweep worker and runs until
+// interrupted. Losing the worker is safe at any point: the coordinator
+// re-issues its unfinished leases from the last accepted watermark.
+func cmdWorker(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	join := fs.String("join", "http://127.0.0.1:8333", "base URL of the serve -coordinator to join")
+	name := fs.String("name", "", "worker name shown in /v1/stats (default: the coordinator-assigned ID)")
+	parallel := fs.Int("parallel", 0, "leases swept concurrently (0 = one per CPU)")
+	poll := fs.Duration("poll", 0, "idle lease-pull cadence (0 = default)")
+	fs.Parse(args)
+	err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Coordinator: strings.TrimRight(*join, "/"),
+		Name:        *name,
+		Parallel:    *parallel,
+		Poll:        *poll,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "incdb worker: "+format+"\n", args...)
+		},
+	})
+	// Ctrl-C is the intended way to stop a worker, not an error.
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
 }
 
 // cmdLoadgen drives a running incdb serve with the load harness and
@@ -472,7 +521,7 @@ func cmdLoadgen(ctx context.Context, args []string) error {
 	duration := fs.Duration("duration", 15*time.Second, "how long to generate load")
 	warmup := fs.Duration("warmup", time.Second, "initial unrecorded slice of the run (negative disables)")
 	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
-	profile := fs.String("profile", "", `operation mix as "op=weight,..." over classify, count, comp, estimate, mutate, jobs (default "count=4,comp=2,classify=2,estimate=1,mutate=1,jobs=1")`)
+	profile := fs.String("profile", "", `operation mix as "op=weight,..." over classify, count, comp, estimate, mutate, jobs, distjob (default "count=4,comp=2,classify=2,estimate=1,mutate=1,jobs=1,distjob=1")`)
 	maxOps := fs.Int64("max-ops", 0, "stop after this many recorded operations (0 = unlimited)")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	anchor := fs.Int64("anchor", 0, "also run one long checkpointed brute-force job of this sweep size (e.g. 1073741824), cancelled after the run")

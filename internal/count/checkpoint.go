@@ -281,17 +281,11 @@ func (c *Checkpointer) restore(eng *sweep.Engine, completions bool) *resumeState
 			st.counts[i].promote()
 		}
 		if completions {
-			for _, rec := range s.Entries {
-				snap, err := eng.SnapshotOf(rec.Canonical)
-				if err != nil {
-					return nil
-				}
-				st.entries[i] = append(st.entries[i], &compEntry{
-					hash: sweep.Hash128{Lo: rec.HashLo, Hi: rec.HashHi},
-					snap: snap,
-					sat:  rec.Sat,
-				})
+			entries, err := rehydrateEntries(eng, s.Entries)
+			if err != nil {
+				return nil
 			}
+			st.entries[i] = entries
 		}
 		prev = hi
 	}

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The coordinator's HTTP surface, mounted under /cluster/ on the serving
+// mux. Every error — a version-skewed registration, a stale lease, a
+// checkpoint payload that fails validation — is a 4xx with a structured
+// {error, code} body so workers can branch on the code; unknown fields
+// are tolerated for forward compatibility, and nothing in this layer
+// panics into a 500 on bad input.
+
+// apiError is a protocol-level refusal: an HTTP status plus the
+// structured code workers branch on.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// RegisterHandlers mounts the coordinator protocol on mux.
+func (c *Coordinator) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST /cluster/register", handle(c.Register))
+	mux.HandleFunc("POST /cluster/heartbeat", handle(c.Heartbeat))
+	mux.HandleFunc("POST /cluster/progress", handle(c.Progress))
+	mux.HandleFunc("POST /cluster/fail", handle(c.Fail))
+	mux.HandleFunc("POST /cluster/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeClusterJSON(w, r, &req) {
+			return
+		}
+		lease, aerr := c.Lease(req)
+		if aerr != nil {
+			writeClusterError(w, aerr)
+			return
+		}
+		if lease == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, LeaseResponse{Lease: lease})
+	})
+}
+
+// handle adapts one decode→act→encode endpoint.
+func handle[Req, Resp any](act func(Req) (Resp, *apiError)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if !decodeClusterJSON(w, r, &req) {
+			return
+		}
+		resp, aerr := act(req)
+		if aerr != nil {
+			writeClusterError(w, aerr)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, resp)
+	}
+}
+
+// decodeClusterJSON decodes leniently (unknown fields from newer peers
+// are fine; version skew is policed by ProtoVersion and checkpoint
+// validation, not field layout) and turns malformed bodies into a
+// structured 400.
+func decodeClusterJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeClusterError(w, &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: "decode request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeClusterError(w http.ResponseWriter, aerr *apiError) {
+	writeClusterJSON(w, aerr.status, ErrorBody{Error: aerr.msg, Code: aerr.code})
+}
+
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -69,6 +69,12 @@ type Record struct {
 	Checkpoint   json.RawMessage `json:"checkpoint,omitempty"`
 	CheckpointAt time.Time       `json:"checkpoint_at,omitzero"`
 
+	// Detail is an opaque execution-detail blob the RunFunc may publish
+	// (the distributed path reports its lease/worker state through it).
+	// Unlike Checkpoint it survives completion, so a finished job still
+	// shows how it ran.
+	Detail json.RawMessage `json:"detail,omitempty"`
+
 	CreatedAt  time.Time `json:"created_at"`
 	FinishedAt time.Time `json:"finished_at,omitzero"`
 }
@@ -217,6 +223,15 @@ func (j *Job) SetProgress(done, total int) {
 func (j *Job) SetCheckpointSource(fn func() json.RawMessage) {
 	j.mu.Lock()
 	j.checkpoint = fn
+	j.mu.Unlock()
+}
+
+// SetDetail publishes an opaque execution-detail blob onto the job's
+// record (persisted with it, surfaced by the wire layer). Call it from
+// the RunFunc whenever the detail changes.
+func (j *Job) SetDetail(blob json.RawMessage) {
+	j.mu.Lock()
+	j.rec.Detail = blob
 	j.mu.Unlock()
 }
 

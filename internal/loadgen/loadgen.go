@@ -35,10 +35,15 @@ const (
 	OpEstimate = "estimate"
 	OpMutate   = "mutate"
 	OpJobs     = "jobs"
+	OpDistJob  = "distjob"
 )
 
 // DefaultProfile is the mixed workload: mostly cheap cached reads, some
-// forced completion sweeps, some sampling, some writes, some async jobs.
+// forced completion sweeps, some sampling, some writes, some async jobs,
+// and an occasional distribution-sized job (2^22 valuations — at the
+// default budget's edge, over the coordinator's threshold, so it fans
+// out to workers on a serve -coordinator cluster and sweeps locally
+// everywhere else).
 var DefaultProfile = map[string]int{
 	OpCount:    4,
 	OpComp:     2,
@@ -46,6 +51,7 @@ var DefaultProfile = map[string]int{
 	OpEstimate: 1,
 	OpMutate:   1,
 	OpJobs:     1,
+	OpDistJob:  1,
 }
 
 // Config configures one load run.
@@ -72,6 +78,12 @@ type Config struct {
 	// checkpoint makes the checkpoint machinery observable in the report
 	// (stats.job_queue.checkpoint_age_seconds).
 	AnchorValuations int64
+	// DistJobNulls is the chain length (= log2 of the valuation space) of
+	// the databases distjob ops sweep; 0 means 22 — exactly the default
+	// brute-force budget (2^22, the guard admits size ≤ max) and over the
+	// coordinator's default distribution threshold (2^21), so the op fans
+	// out on a serve -coordinator cluster and sweeps locally elsewhere.
+	DistJobNulls int
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 }
@@ -99,6 +111,13 @@ func (c *Config) warmup() time.Duration {
 	default:
 		return c.Warmup
 	}
+}
+
+func (c *Config) distJobNulls() int {
+	if c.DistJobNulls <= 0 {
+		return 22
+	}
+	return c.DistJobNulls
 }
 
 func (c *Config) seed() int64 {
@@ -161,7 +180,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	profile := cfg.profile()
 	var picks []string
-	for _, op := range []string{OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs} {
+	for _, op := range []string{OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs, OpDistJob} {
 		w := profile[op]
 		if w < 0 {
 			return nil, fmt.Errorf("loadgen: negative weight for %q", op)
@@ -175,7 +194,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	for op := range profile {
 		switch op {
-		case OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs:
+		case OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs, OpDistJob:
 		default:
 			return nil, fmt.Errorf("loadgen: unknown operation %q in profile", op)
 		}
@@ -220,7 +239,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			recordFrom: recordFrom,
 			budget:     budget,
 		}
-		w.buildPool()
+		w.buildPool(cfg.distJobNulls())
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -283,18 +302,21 @@ type worker struct {
 
 	dbPool []string // small databases the read ops draw from
 	jobDB  string   // the fast database jobs ops sweep
+	distDB string   // the distribution-sized database distjob ops sweep
 	seq    int      // per-worker mutation sequence
 }
 
 // buildPool pregenerates the worker's databases: a pool of small chain
 // databases (8–12 nulls, 256–4096 valuations) whose reuse exercises the
-// result cache, and one 1024-valuation database for fast async jobs.
-func (w *worker) buildPool() {
+// result cache, one 1024-valuation database for fast async jobs, and one
+// 2^distNulls-valuation database for distjob (see Config.DistJobNulls).
+func (w *worker) buildPool(distNulls int) {
 	for i := 0; i < 8; i++ {
 		n := 8 + w.rng.Intn(5)
 		w.dbPool = append(w.dbPool, chainDatabase(w.rng.Intn(1<<20)+1, n))
 	}
 	w.jobDB = chainDatabase(w.rng.Intn(1<<20)+1, 10)
+	w.distDB = chainDatabase(w.rng.Intn(1<<20)+1, distNulls)
 }
 
 // dedupDatabase renders a uniform database of 2n single-null unary
@@ -392,7 +414,9 @@ func (w *worker) do(ctx context.Context, op string) (err error, rejected bool) {
 	case OpMutate:
 		return w.mutate(ctx), false
 	case OpJobs:
-		return w.job(ctx)
+		return w.job(ctx, w.jobDB)
+	case OpDistJob:
+		return w.job(ctx, w.distDB)
 	}
 	return fmt.Errorf("loadgen: unknown op %q", op), false
 }
@@ -410,12 +434,12 @@ func (w *worker) mutate(ctx context.Context) error {
 	return w.req(ctx, http.MethodDelete, "/v1/facts", server.MutationRequest{Facts: []string{fact}}, &resp)
 }
 
-// job submits one small forced brute-force job and polls it to a
+// job submits one forced brute-force job over dbText and polls it to a
 // terminal status; the op's latency is submit-to-terminal.
-func (w *worker) job(ctx context.Context) (error, bool) {
+func (w *worker) job(ctx context.Context, dbText string) (error, bool) {
 	var created server.Job
 	status, err := w.reqStatus(ctx, http.MethodPost, "/v1/jobs", server.Request{
-		Database:   w.jobDB,
+		Database:   dbText,
 		Query:      "R(x, x)",
 		Kind:       server.KindVal,
 		ForceBrute: true,

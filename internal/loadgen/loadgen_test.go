@@ -78,6 +78,9 @@ func TestRunAgainstLiveServer(t *testing.T) {
 		JobStore:           jobs.NewMemStore(),
 		JobPersistInterval: 20 * time.Millisecond,
 		CheckpointStride:   1 << 12,
+		// The anchor sweep holds one slot for the whole run; keep enough
+		// slots that the job ops still flow.
+		MaxConcurrentJobs: 4,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -96,6 +99,11 @@ func TestRunAgainstLiveServer(t *testing.T) {
 		Duration: 2 * time.Second,
 		Warmup:   200 * time.Millisecond,
 		Seed:     42,
+		// A production-sized distjob (2^22) would monopolize this 1-CPU
+		// box under the race detector; a 2^14 space exercises the same
+		// submit-and-poll path in milliseconds. CI's load smoke runs the
+		// real size against a live cluster.
+		DistJobNulls: 14,
 		// Big enough that the sweep (tens of millions of valuations per
 		// second) is still running when the run ends and its checkpoint
 		// age is visible in the final stats.
@@ -110,7 +118,7 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	if rep.Errors != 0 {
 		t.Fatalf("run had %d errors: %v", rep.Errors, rep.ErrorSamples)
 	}
-	for _, op := range []string{OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs} {
+	for _, op := range []string{OpClassify, OpCount, OpComp, OpEstimate, OpMutate, OpJobs, OpDistJob} {
 		o := rep.PerOp[op]
 		if o == nil || o.Count == 0 {
 			t.Errorf("operation %q was never recorded", op)

@@ -4,7 +4,10 @@ package server
 // -json mode of the incdb command-line tool, so scripted pipelines see one
 // schema whether they shell out or speak HTTP.
 
-import "github.com/incompletedb/incompletedb/internal/plan"
+import (
+	"github.com/incompletedb/incompletedb/internal/dist"
+	"github.com/incompletedb/incompletedb/internal/plan"
+)
 
 // Operation names accepted in Request.Op (and implied by the dedicated
 // endpoints).
@@ -243,6 +246,11 @@ type Job struct {
 	Request       Request `json:"request"`
 	DatabaseBytes int     `json:"database_bytes,omitempty"`
 
+	// Cluster describes how the distributed path ran (or is running) this
+	// job: lease counts, re-issues, and the workers that contributed.
+	// Absent for jobs swept locally.
+	Cluster *ClusterJobDetail `json:"cluster,omitempty"`
+
 	Result    *Response `json:"result,omitempty"`
 	Error     string    `json:"error,omitempty"`
 	CreatedAt string    `json:"created_at"`
@@ -337,6 +345,33 @@ type Stats struct {
 	// job subsystem's scheduling gauges and counters.
 	Jobs     map[string]int `json:"jobs,omitempty"`
 	JobQueue *JobQueueStats `json:"job_queue,omitempty"`
+
+	// Cluster exposes the distributed-sweep coordinator when the server
+	// runs with Config.Coordinator: joined workers (with heartbeat ages
+	// and throughput), lease gauges (pending/live) and lifetime counters
+	// (completed/reissued), and distributed-job totals.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the coordinator's metrics block on /v1/stats; see
+// dist.Metrics for the field-by-field meaning.
+type ClusterStats = dist.Metrics
+
+// ClusterJobDetail is the per-job distributed-execution block: how the
+// coordinator decomposed and ran one job's sweep.
+type ClusterJobDetail struct {
+	// Space is the sweep's valuation-space size as a decimal string.
+	Space string `json:"space,omitempty"`
+	// Leases is how many contiguous index-range leases the space was cut
+	// into; Done counts the completed ones.
+	Leases int `json:"leases"`
+	Done   int `json:"done"`
+	// Reissued counts lease re-issues after worker loss (heartbeat/TTL
+	// expiry); 0 on an undisturbed run.
+	Reissued int64 `json:"reissued"`
+	// Workers counts the distinct workers that completed at least one of
+	// the job's leases.
+	Workers int `json:"workers"`
 }
 
 // JobQueueStats mirrors the job manager's metrics on /v1/stats: current

@@ -70,6 +70,14 @@ func (s *Server) StartJob(req Request) (*Job, error) {
 // the checkpoint a recovered job continues from.
 func (s *Server) jobRunner(req Request, pdb *solver.PreparedDB, q cq.Query, kind string, resume *count.SweepCheckpoint) jobs.RunFunc {
 	return func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		if s.coord != nil {
+			// The distributed checkpoint is shaped exactly like the local
+			// one (the lease table IS a count.SweepCheckpoint), so a job
+			// checkpointed by either path can resume on the other.
+			if blob, handled, err := s.runDistributed(ctx, j, req, pdb, q, kind, resume); handled {
+				return blob, err
+			}
+		}
 		ck := count.NewCheckpointer(s.cfg.CheckpointStride, resume)
 		j.SetCheckpointSource(func() json.RawMessage {
 			cp := ck.Snapshot()
@@ -160,6 +168,12 @@ func jobFromRecord(rec jobs.Record) *Job {
 			job.DatabaseBytes = len(req.Database)
 			req.Database = ""
 			job.Request = req
+		}
+	}
+	if len(rec.Detail) > 0 {
+		det := new(ClusterJobDetail)
+		if json.Unmarshal(rec.Detail, det) == nil {
+			job.Cluster = det
 		}
 	}
 	if len(rec.Result) > 0 {

@@ -74,6 +74,7 @@ import (
 	"github.com/incompletedb/incompletedb/internal/core"
 	"github.com/incompletedb/incompletedb/internal/count"
 	"github.com/incompletedb/incompletedb/internal/cq"
+	"github.com/incompletedb/incompletedb/internal/dist"
 	"github.com/incompletedb/incompletedb/internal/fingerprint"
 	"github.com/incompletedb/incompletedb/internal/jobs"
 	"github.com/incompletedb/incompletedb/internal/solver"
@@ -85,6 +86,10 @@ const (
 	// the server only forwards its sizing.
 	DefaultCacheSize = solver.DefaultCacheSize
 	DefaultMaxJobs   = 1024
+	// DefaultDistThreshold is the sweep size (2^21 valuations) above which
+	// a coordinator-enabled server distributes a brute-force job rather
+	// than sweeping it on the local pool.
+	DefaultDistThreshold = 1 << 21
 	// maxRequestBody bounds request bodies (databases are text; 8 MiB is
 	// far beyond any instance the brute-force guard would accept).
 	maxRequestBody = 8 << 20
@@ -141,6 +146,26 @@ type Config struct {
 	// count.DefaultCheckpointStride.
 	CheckpointStride int64
 
+	// Coordinator enables the distributed-sweep coordinator: the cluster
+	// endpoints (/cluster/*) are mounted for incdb worker processes to
+	// join, and oversized brute-force jobs are decomposed into index-range
+	// leases and fanned out to them (incdb serve -coordinator).
+	Coordinator bool
+
+	// DistThreshold is the sweep size at which a brute-force job routes
+	// through the coordinator instead of the local worker pool; smaller
+	// sweeps (and any sweep while no worker is joined) run locally. 0
+	// means DefaultDistThreshold.
+	DistThreshold int64
+
+	// LeaseTTL is how long the coordinator waits for a lease holder's
+	// heartbeat before re-issuing its range; 0 means dist.DefaultLeaseTTL.
+	LeaseTTL time.Duration
+
+	// LeaseValuations is the target valuations per lease (the unit of
+	// distributed work and of loss); 0 means dist.DefaultLeaseValuations.
+	LeaseValuations int64
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ so live sweeps can
 	// be profiled in place — the sweep shards run under pprof labels
 	// (sweep_shard, sweep_mode), so a CPU profile of a busy server
@@ -177,6 +202,13 @@ func (c Config) maxJobs() int {
 	return c.MaxJobs
 }
 
+func (c Config) distThreshold() int64 {
+	if c.DistThreshold <= 0 {
+		return DefaultDistThreshold
+	}
+	return c.DistThreshold
+}
+
 // Server is the counting service. Create one with New; it is safe for
 // concurrent use.
 type Server struct {
@@ -189,7 +221,12 @@ type Server struct {
 	// persistence and recovery live there (internal/jobs); this server
 	// adapts it to the wire API in jobs.go.
 	jobs *jobs.Manager
-	mux  *http.ServeMux
+	// coord is the distributed-sweep coordinator, non-nil when
+	// Config.Coordinator is set: worker processes join over /cluster/*
+	// and oversized brute-force jobs fan out to them as range leases
+	// (dist.go in this package adapts jobs onto it).
+	coord *dist.Coordinator
+	mux   *http.ServeMux
 
 	// live is the mutable session the write endpoints operate on and
 	// empty-database read requests route to. liveMu guards the pointer
@@ -227,6 +264,13 @@ func New(cfg Config) *Server {
 		BaseContext:     s.root,
 	})
 	s.mux = http.NewServeMux()
+	if cfg.Coordinator {
+		s.coord = dist.NewCoordinator(dist.Config{
+			LeaseTTL:        cfg.LeaseTTL,
+			LeaseValuations: cfg.LeaseValuations,
+		})
+		s.coord.RegisterHandlers(s.mux)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/classify", s.handleOp(OpClassify))
@@ -261,7 +305,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close abruptly cancels all running jobs and in-flight background
 // computations. For an orderly stop that checkpoints running jobs first,
 // use Shutdown (Serve does on context cancellation).
-func (s *Server) Close() { s.closeRoot(); s.jobs.Close() }
+func (s *Server) Close() {
+	s.closeRoot()
+	s.jobs.Close()
+	if s.coord != nil {
+		s.coord.Close()
+	}
+}
+
+// Coordinator returns the distributed-sweep coordinator, or nil when the
+// server was not configured with one.
+func (s *Server) Coordinator() *dist.Coordinator { return s.coord }
 
 // Shutdown drains the server gracefully: admission stops, running jobs
 // are cancelled at their next checkpoint boundary and their final
@@ -332,6 +386,10 @@ func (s *Server) Stats() Stats {
 		Completed:            jm.Completed,
 		Evicted:              jm.Evicted,
 		CheckpointAgeSeconds: jm.CheckpointAgeSeconds,
+	}
+	if s.coord != nil {
+		cm := s.coord.Metrics()
+		st.Cluster = &cm
 	}
 	s.liveMu.Lock()
 	defer s.liveMu.Unlock()
