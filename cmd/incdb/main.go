@@ -118,11 +118,13 @@ commands:
                                  -pprof exposes /debug/pprof/ for profiling live sweeps;
                                  -coordinator decomposes oversized brute-force jobs into
                                  range leases for joined incdb worker processes, with
-                                 -dist-threshold, -lease-ttl, -lease-valuations tuning)
+                                 -dist-threshold, -lease-ttl, -lease-valuations tuning
+                                 and -cluster-token guarding /cluster on open networks)
   worker -join URL               join a serve -coordinator as a sweep worker: pull range
                                  leases, sweep them, stream partials back (-name,
-                                 -parallel N, -poll D); Ctrl-C leaves cleanly and the
-                                 coordinator re-issues anything unfinished
+                                 -parallel N, -poll D, -token matching -cluster-token);
+                                 Ctrl-C leaves cleanly and the coordinator re-issues
+                                 anything unfinished
   loadgen -addr URL              drive a running server with a weighted operation mix and
                                  report throughput + latency histograms (-duration, -workers,
                                  -profile "count=4,jobs=1", -anchor N, -json, -out FILE, -check)
@@ -432,6 +434,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	distThreshold := fs.Int64("dist-threshold", server.DefaultDistThreshold, "minimum sweep size (valuations) a job must reach to distribute")
 	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "lease expiry: a range with no worker progress for this long is re-issued")
 	leaseVals := fs.Int64("lease-valuations", dist.DefaultLeaseValuations, "target valuations per lease (the job is cut into 8–512 ranges around it)")
+	clusterToken := fs.String("cluster-token", "", "shared secret workers must present on /cluster requests (empty trusts the network)")
 	fs.Parse(args)
 	cfg := server.Config{
 		CacheSize:          *cacheSize,
@@ -448,6 +451,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		DistThreshold:      *distThreshold,
 		LeaseTTL:           *leaseTTL,
 		LeaseValuations:    *leaseVals,
+		ClusterToken:       *clusterToken,
 	}
 	if *jobDir != "" {
 		store, err := jobs.NewFileStore(*jobDir)
@@ -496,12 +500,14 @@ func cmdWorker(ctx context.Context, args []string) error {
 	name := fs.String("name", "", "worker name shown in /v1/stats (default: the coordinator-assigned ID)")
 	parallel := fs.Int("parallel", 0, "leases swept concurrently (0 = one per CPU)")
 	poll := fs.Duration("poll", 0, "idle lease-pull cadence (0 = default)")
+	token := fs.String("token", "", "shared cluster secret matching the coordinator's -cluster-token")
 	fs.Parse(args)
 	err := dist.RunWorker(ctx, dist.WorkerConfig{
 		Coordinator: strings.TrimRight(*join, "/"),
 		Name:        *name,
 		Parallel:    *parallel,
 		Poll:        *poll,
+		Token:       *token,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "incdb worker: "+format+"\n", args...)
 		},

@@ -49,6 +49,13 @@ type Config struct {
 	// MaxLeaseFails is how many worker-reported failures one range
 	// tolerates before the whole job fails. 0 means DefaultMaxLeaseFails.
 	MaxLeaseFails int
+	// Token, when non-empty, is a shared secret every /cluster request
+	// must carry in the dist.TokenHeader header. The cluster endpoints
+	// share the serving mux, so without a token any client that can
+	// reach the serve port can register as a worker and publish
+	// tallies; set one whenever that port is not confined to a trusted
+	// network.
+	Token string
 	// now overrides time.Now in tests.
 	now func() time.Time
 }
@@ -228,7 +235,9 @@ func (c *Coordinator) Close() {
 // expireLoop requeues expired leases and drops silent workers.
 func (c *Coordinator) expireLoop() {
 	defer c.wg.Done()
-	tick := time.NewTicker(c.cfg.leaseTTL() / 4)
+	// Clamped: a sub-4ns LeaseTTL would otherwise hand NewTicker a
+	// non-positive interval and panic the loop.
+	tick := time.NewTicker(max(c.cfg.leaseTTL()/4, time.Millisecond))
 	defer tick.Stop()
 	for {
 		select {
@@ -617,7 +626,7 @@ func (c *Coordinator) StartJob(spec JobSpec, resume *count.SweepCheckpoint) (*Jo
 	}
 	size := eng.Size()
 	cp := resume
-	if !resumable(cp, size, completions) {
+	if !resumable(eng, cp, size, completions) {
 		leases := c.leaseCount(size)
 		cp = count.NewSweepCheckpoint(size, leases, completions)
 	}
@@ -673,24 +682,25 @@ func (c *Coordinator) StartJob(spec JobSpec, resume *count.SweepCheckpoint) (*Jo
 // resumable reports whether a persisted lease table can seed this job:
 // the space and mode must match and the shards must form a contiguous
 // partition with valid state — the same checks the local restore makes,
-// via the same validation the merge uses.
-func resumable(cp *count.SweepCheckpoint, size *big.Int, completions bool) bool {
+// via the same validation the merge uses. Each shard runs through
+// count.ValidateShardProgress, so completion records that no longer
+// decode against the engine (version skew across a restart) discard the
+// checkpoint here, instead of every re-issued lease failing on every
+// worker until MaxLeaseFails kills the job.
+func resumable(eng *sweep.Engine, cp *count.SweepCheckpoint, size *big.Int, completions bool) bool {
 	if cp == nil || len(cp.Shards) == 0 || cp.Space != size.String() || cp.Completions != completions {
 		return false
 	}
 	prev := new(big.Int)
 	for i := range cp.Shards {
 		s := &cp.Shards[i]
-		lo, ok1 := new(big.Int).SetString(s.Lo, 10)
-		next, ok2 := new(big.Int).SetString(s.Next, 10)
-		hi, ok3 := new(big.Int).SetString(s.Hi, 10)
-		if !ok1 || !ok2 || !ok3 || lo.Cmp(prev) != 0 || next.Cmp(lo) < 0 || hi.Cmp(next) < 0 {
+		if count.ValidateShardProgress(eng, s) != nil {
 			return false
 		}
-		if s.Count != "" {
-			if tally, ok := new(big.Int).SetString(string(s.Count), 10); !ok || tally.Sign() < 0 {
-				return false
-			}
+		lo, _ := new(big.Int).SetString(s.Lo, 10)
+		hi, _ := new(big.Int).SetString(s.Hi, 10)
+		if lo.Cmp(prev) != 0 {
+			return false
 		}
 		prev = hi
 	}

@@ -35,6 +35,11 @@ import (
 // checkpoints are only comparable between identical engine builds.
 const ProtoVersion = 1
 
+// TokenHeader carries the shared cluster secret on every /cluster
+// request when the coordinator is configured with one (Config.Token,
+// `serve -cluster-token` / `worker -token`).
+const TokenHeader = "X-Cluster-Token"
+
 // Structured error codes carried in every non-2xx /cluster response body.
 // Workers branch on the code, never on prose.
 const (
@@ -43,6 +48,10 @@ const (
 	// CodeVersionSkew: the worker's ProtoVersion differs from the
 	// coordinator's.
 	CodeVersionSkew = "version_skew"
+	// CodeUnauthorized: the request is missing the coordinator's shared
+	// cluster token, or carries the wrong one. Fatal for a worker —
+	// retrying with the same token cannot succeed.
+	CodeUnauthorized = "unauthorized"
 	// CodeUnknownWorker: the worker ID is not (or no longer) registered;
 	// the worker must re-register.
 	CodeUnknownWorker = "unknown_worker"

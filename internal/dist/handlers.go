@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"net/http"
 )
@@ -20,13 +21,16 @@ type apiError struct {
 	msg    string
 }
 
-// RegisterHandlers mounts the coordinator protocol on mux.
+// RegisterHandlers mounts the coordinator protocol on mux. The cluster
+// endpoints share the serving mux, so when Config.Token is set every
+// request must present it in the TokenHeader header; without a token
+// the endpoints trust the network (see the README's trust model).
 func (c *Coordinator) RegisterHandlers(mux *http.ServeMux) {
-	mux.HandleFunc("POST /cluster/register", handle(c.Register))
-	mux.HandleFunc("POST /cluster/heartbeat", handle(c.Heartbeat))
-	mux.HandleFunc("POST /cluster/progress", handle(c.Progress))
-	mux.HandleFunc("POST /cluster/fail", handle(c.Fail))
-	mux.HandleFunc("POST /cluster/lease", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /cluster/register", c.authed(handle(c.Register)))
+	mux.HandleFunc("POST /cluster/heartbeat", c.authed(handle(c.Heartbeat)))
+	mux.HandleFunc("POST /cluster/progress", c.authed(handle(c.Progress)))
+	mux.HandleFunc("POST /cluster/fail", c.authed(handle(c.Fail)))
+	mux.HandleFunc("POST /cluster/lease", c.authed(func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
 		if !decodeClusterJSON(w, r, &req) {
 			return
@@ -41,7 +45,24 @@ func (c *Coordinator) RegisterHandlers(mux *http.ServeMux) {
 			return
 		}
 		writeClusterJSON(w, http.StatusOK, LeaseResponse{Lease: lease})
-	})
+	}))
+}
+
+// authed enforces the shared cluster token when one is configured; the
+// compare is constant-time so the token is not recoverable by timing.
+func (c *Coordinator) authed(next http.HandlerFunc) http.HandlerFunc {
+	if c.cfg.Token == "" {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := r.Header.Get(TokenHeader)
+		if subtle.ConstantTimeCompare([]byte(got), []byte(c.cfg.Token)) != 1 {
+			writeClusterError(w, &apiError{status: http.StatusUnauthorized, code: CodeUnauthorized,
+				msg: "missing or wrong cluster token (" + TokenHeader + " header)"})
+			return
+		}
+		next(w, r)
+	}
 }
 
 // handle adapts one decode→act→encode endpoint.

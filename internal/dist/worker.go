@@ -3,6 +3,8 @@ package dist
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,7 +25,7 @@ import (
 const DefaultPoll = 250 * time.Millisecond
 
 // engineCacheSize bounds the per-worker compiled-engine cache: leases of
-// the same job share one engine (concurrent cursors are safe), and a
+// the same spec share one engine (concurrent cursors are safe), and a
 // worker rarely interleaves more than a few jobs.
 const engineCacheSize = 4
 
@@ -38,6 +40,9 @@ type WorkerConfig struct {
 	Parallel int
 	// Poll is the idle lease-pull cadence. 0 means DefaultPoll.
 	Poll time.Duration
+	// Token is the shared cluster secret sent on every request, matching
+	// the coordinator's -cluster-token. Empty means no token header.
+	Token string
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 	// Logf, when set, receives worker lifecycle events.
@@ -53,7 +58,10 @@ type worker struct {
 
 	mu sync.Mutex
 	id string
-	// engines caches compiled engines by job ID.
+	// engines caches compiled engines by spec digest — never by the
+	// coordinator-assigned job ID, which is minted from an in-memory
+	// counter and can recycle across a coordinator restart to name a
+	// different spec.
 	engines map[string]*sweep.Engine
 }
 
@@ -96,7 +104,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		}, &reg)
 		if err != nil {
 			var pe *protoError
-			if errors.As(err, &pe) && pe.code == CodeVersionSkew {
+			if errors.As(err, &pe) && (pe.code == CodeVersionSkew || pe.code == CodeUnauthorized) {
+				// Retrying with the same build and token cannot succeed.
 				return fmt.Errorf("dist: coordinator refused worker: %s", pe.msg)
 			}
 			cfg.Logf("register against %s failed: %v (retrying)", cfg.Coordinator, err)
@@ -227,13 +236,36 @@ func (w *worker) runLease(ctx context.Context, invalidate context.CancelFunc, le
 	}
 }
 
-// engineFor compiles (or reuses) the engine for a lease's job,
+// specKey digests everything that determines a lease's compiled engine:
+// the database and query text, the sweep kind, and the compile flags.
+// Length-framing keeps distinct field splits from colliding.
+func (l *Lease) specKey() string {
+	h := sha256.New()
+	for _, s := range []string{l.Database, l.Query, l.Kind} {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	var flags byte
+	if l.DisableBitsets {
+		flags |= 1
+	}
+	if l.SyntacticOrder {
+		flags |= 2
+	}
+	h.Write([]byte{flags})
+	return string(h.Sum(nil))
+}
+
+// engineFor compiles (or reuses) the engine for a lease's spec,
 // cross-checking the enumerated-space size against the coordinator's: a
 // disagreement means the two processes would not even agree on what
 // index i denotes, so the worker refuses rather than sweeping garbage.
 func (w *worker) engineFor(lease *Lease) (*sweep.Engine, error) {
+	key := lease.specKey()
 	w.mu.Lock()
-	eng := w.engines[lease.JobID]
+	eng := w.engines[key]
 	w.mu.Unlock()
 	if eng == nil {
 		db, err := core.ParseDatabaseString(lease.Database)
@@ -262,7 +294,7 @@ func (w *worker) engineFor(lease *Lease) (*sweep.Engine, error) {
 			}
 			delete(w.engines, id)
 		}
-		w.engines[lease.JobID] = eng
+		w.engines[key] = eng
 		w.mu.Unlock()
 	}
 	if got := eng.Size().String(); got != lease.Space {
@@ -335,6 +367,9 @@ func (w *worker) post(ctx context.Context, path string, body, resp any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set(TokenHeader, w.cfg.Token)
+	}
 	res, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return err

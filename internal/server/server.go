@@ -166,6 +166,13 @@ type Config struct {
 	// distributed work and of loss); 0 means dist.DefaultLeaseValuations.
 	LeaseValuations int64
 
+	// ClusterToken, when non-empty, is the shared secret every
+	// /cluster request must present (incdb serve -cluster-token /
+	// incdb worker -token). The cluster endpoints share the serving
+	// mux, so leave it empty only when the serve port is confined to a
+	// trusted network.
+	ClusterToken string
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ so live sweeps can
 	// be profiled in place — the sweep shards run under pprof labels
 	// (sweep_shard, sweep_mode), so a CPU profile of a busy server
@@ -268,6 +275,7 @@ func New(cfg Config) *Server {
 		s.coord = dist.NewCoordinator(dist.Config{
 			LeaseTTL:        cfg.LeaseTTL,
 			LeaseValuations: cfg.LeaseValuations,
+			Token:           cfg.ClusterToken,
 		})
 		s.coord.RegisterHandlers(s.mux)
 	}
